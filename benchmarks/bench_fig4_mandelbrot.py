@@ -1,0 +1,114 @@
+"""FIG-4: the Mandelbrot study (§4.1).
+
+Two artifacts, matching the two halves of the paper's Fig. 4:
+
+* program size (LoC) of the CUDA / OpenCL / SkelCL versions —
+  paper: CUDA 49 (28 kernel + 21 host), OpenCL 118 (28 + 90),
+  SkelCL 57 (26 + 31);
+* runtime of the three versions on one simulated Tesla T10 —
+  paper: CUDA 18 s, OpenCL 25 s, SkelCL 26 s, i.e. CUDA ≈ 0.72× OpenCL
+  and SkelCL within 5% of OpenCL.
+"""
+
+import pytest
+
+import repro.skelcl as skelcl
+from repro import loc, ocl
+from repro.apps.mandelbrot import Mandelbrot
+from repro.baselines.cuda import CudaRuntime
+from repro.baselines.mandelbrot_cl import MandelbrotOpenCL
+from repro.baselines.mandelbrot_cuda import MandelbrotCuda
+from repro.reporting import render_bars, render_table
+
+from conftest import full_scale
+
+PAPER_LOC = {
+    "CUDA": (49, 28, 21),
+    "OpenCL": (118, 28, 90),
+    "SkelCL": (57, 26, 31),
+}
+
+_SOURCES = {
+    "CUDA": "mandelbrot_cuda.cu",
+    "OpenCL": "mandelbrot_opencl.c",
+    "SkelCL": "mandelbrot_skelcl.cpp",
+}
+
+
+def test_fig4_program_size(benchmark, record_result):
+    counts = benchmark(lambda: {name: loc.count_reference(f) for name, f in _SOURCES.items()})
+
+    rows = []
+    for name, count in counts.items():
+        paper_total, paper_kernel, paper_host = PAPER_LOC[name]
+        rows.append((name, count.total, count.kernel, count.host,
+                     f"{paper_total} ({paper_kernel}+{paper_host})"))
+    record_result(
+        "fig4_program_size",
+        render_table(
+            ["version", "LoC", "kernel", "host", "paper"],
+            rows,
+            title="FIG-4 (left): Mandelbrot program size",
+        ),
+    )
+
+    # The paper's shape: OpenCL more than twice CUDA/SkelCL; SkelCL close
+    # to CUDA.
+    assert counts["OpenCL"].total > 2 * counts["CUDA"].total
+    assert counts["SkelCL"].total < 0.6 * counts["OpenCL"].total
+    for name, count in counts.items():
+        assert count.total == PAPER_LOC[name][0]
+
+
+def _mandelbrot_times(width, height, max_iter, sample_fraction):
+    ctx = ocl.Context.create(ocl.TESLA_T10)
+    _, cl_event = MandelbrotOpenCL(ctx).run(width, height, max_iter,
+                                            sample_fraction=sample_fraction)
+    ctx.release()
+
+    runtime = CudaRuntime(ocl.TESLA_T10)
+    _, cu_event = MandelbrotCuda(runtime).run(width, height, max_iter,
+                                              sample_fraction=sample_fraction)
+    runtime.release()
+
+    skelcl.init(num_devices=1, spec=ocl.TESLA_T10)
+    app = Mandelbrot(max_iterations=max_iter)
+    app.render(width, height, sample_fraction=sample_fraction)
+    skelcl_ns = app.last_kernel_time_ns
+    skelcl.terminate()
+
+    return {"CUDA": cu_event.duration_ns, "OpenCL": cl_event.duration_ns, "SkelCL": skelcl_ns}
+
+
+def test_fig4_runtime(benchmark, record_result):
+    if full_scale():
+        # 1% of work-groups: sampling below that makes the 1-D (SkelCL)
+        # and 2-D (CUDA/OpenCL) group shapes sample noticeably different
+        # parts of the fractal boundary.
+        width, height, max_iter, sample = 4096, 3072, 300, 0.01
+    else:
+        width, height, max_iter, sample = 1024, 768, 300, 0.05
+
+    times = benchmark.pedantic(
+        _mandelbrot_times, args=(width, height, max_iter, sample), iterations=1, rounds=1
+    )
+
+    cl = times["OpenCL"]
+    record_result(
+        "fig4_runtime",
+        render_bars(
+            {name: t / 1e6 for name, t in times.items()},
+            unit="ms",
+            title=(
+                f"FIG-4 (right): Mandelbrot runtime, {width}x{height}, "
+                f"{max_iter} iterations, 1 simulated Tesla T10\n"
+                f"paper shape: CUDA 0.72x OpenCL; SkelCL within 5% of OpenCL"
+            ),
+        )
+        + f"\nratios vs OpenCL: CUDA {times['CUDA']/cl:.3f}, SkelCL {times['SkelCL']/cl:.3f}",
+    )
+    benchmark.extra_info.update({name: t / 1e6 for name, t in times.items()})
+
+    # Paper shape: CUDA ~31% faster than OpenCL; SkelCL overhead < 5%.
+    assert 0.6 < times["CUDA"] / cl < 0.9
+    assert 0.9 < times["SkelCL"] / cl < 1.05

@@ -1,0 +1,56 @@
+"""TAB-DOT-LOC and TAB-SOBEL-LOC: the textual programming-effort
+comparisons of §3.3 and §4.2.
+
+* §3.3: the NVIDIA OpenCL dot product is ~68 LoC (9 kernel + 59 host)
+  versus the few lines of Listing 1.1 in SkelCL.
+* §4.2: the AMD Sobel kernel is 37 LoC and the NVIDIA one 208 LoC,
+  versus Listing 1.5.
+"""
+
+from repro import loc
+from repro.reporting import render_table
+
+
+def test_dotproduct_loc(benchmark, record_result):
+    counts = benchmark(lambda: {
+        "OpenCL (NVIDIA style)": loc.count_reference("dotproduct_opencl.c"),
+        "SkelCL (Listing 1.1)": loc.count_reference("dotproduct_skelcl.cpp"),
+    })
+    rows = [
+        (name, c.total, c.kernel, c.host) for name, c in counts.items()
+    ]
+    record_result(
+        "loc_dotproduct",
+        render_table(
+            ["version", "LoC", "kernel", "host"],
+            rows,
+            title="TAB-DOT-LOC (§3.3): dot product programming effort "
+                  "(paper: OpenCL ~68 = 9 + 59)",
+        ),
+    )
+    opencl = counts["OpenCL (NVIDIA style)"]
+    skelcl_count = counts["SkelCL (Listing 1.1)"]
+    assert opencl.total == 68
+    assert opencl.kernel == 9 and opencl.host == 59
+    assert skelcl_count.total < opencl.total / 3
+
+
+def test_sobel_loc(benchmark, record_result):
+    counts = benchmark(lambda: {
+        "AMD kernel": loc.count_reference("sobel_amd.cl"),
+        "NVIDIA kernel": loc.count_reference("sobel_nvidia.cl"),
+        "SkelCL (Listing 1.5)": loc.count_reference("sobel_skelcl.cpp"),
+    })
+    rows = [(name, c.total, c.kernel, c.host) for name, c in counts.items()]
+    record_result(
+        "loc_sobel",
+        render_table(
+            ["version", "LoC", "kernel", "host"],
+            rows,
+            title="TAB-SOBEL-LOC (§4.2): Sobel programming effort "
+                  "(paper: AMD kernel 37, NVIDIA kernel 208)",
+        ),
+    )
+    assert counts["AMD kernel"].kernel == 37
+    assert counts["NVIDIA kernel"].kernel == 208
+    assert counts["SkelCL (Listing 1.5)"].kernel < 15

@@ -1,0 +1,70 @@
+"""ABL-MULTIGPU: multi-GPU scalability of block-distributed skeletons.
+
+The paper has no scaling figure, but scalability is the stated purpose
+of the distribution mechanism (§1, §3.2, §5: "a data (re)distribution
+mechanism ... ensures scalability when using multiple GPUs").  This
+bench measures simulated kernel time of data-parallel skeletons on
+1-4 Tesla T10 GPUs (the paper's S1070 has four).
+"""
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.apps.sobel import SobelEdgeDetection
+from repro.apps.images import synthetic_image
+from repro.reporting import format_speedups, render_table
+
+from conftest import full_scale
+
+
+def _zip_scaling(n):
+    data = np.arange(n, dtype=np.float32)
+    times = {}
+    for devices in (1, 2, 3, 4):
+        skelcl.init(num_devices=devices, spec=ocl.TESLA_T10)
+        add = skelcl.Zip("float func(float x, float y) { return x + y; }")
+        result = add(skelcl.Vector(data=data), skelcl.Vector(data=data))
+        assert result is not None
+        times[devices] = add.last_kernel_time_ns
+        skelcl.terminate()
+    return times
+
+
+def _mapoverlap_scaling(size):
+    image = synthetic_image(size, size)
+    times = {}
+    for devices in (1, 2, 3, 4):
+        skelcl.init(num_devices=devices, spec=ocl.TESLA_T10)
+        app = SobelEdgeDetection()
+        app.detect(image)
+        times[devices] = app.last_kernel_time_ns
+        skelcl.terminate()
+    return times
+
+
+def test_zip_scaling(benchmark, record_result):
+    n = 1 << 22 if full_scale() else 1 << 18
+    times = benchmark.pedantic(_zip_scaling, args=(n,), iterations=1, rounds=1)
+    record_result(
+        "multigpu_zip",
+        f"ABL-MULTIGPU: Zip(add) over {n} floats, block distribution\n"
+        + format_speedups(times),
+    )
+    benchmark.extra_info.update({str(k): v / 1e6 for k, v in times.items()})
+    # Near-linear scaling: 4 GPUs at least 2.8x faster than 1.
+    assert times[1] / times[4] > 2.8
+    assert times[1] / times[2] > 1.6
+
+
+def test_mapoverlap_scaling(benchmark, record_result):
+    size = 1024 if full_scale() else 512
+    times = benchmark.pedantic(_mapoverlap_scaling, args=(size,), iterations=1, rounds=1)
+    record_result(
+        "multigpu_mapoverlap",
+        f"ABL-MULTIGPU: MapOverlap (Sobel) on a {size}x{size} image, "
+        f"overlap distribution\n" + format_speedups(times),
+    )
+    # Stencils scale too (halos make the chunks marginally larger).
+    assert times[1] / times[4] > 2.5

@@ -1,0 +1,36 @@
+"""Shared benchmark utilities.
+
+Benchmarks regenerate the paper's tables and figures.  Each writes a
+text artifact into ``benchmarks/results/`` (and prints it), so the
+numbers survive pytest's output capture and can be diffed against
+EXPERIMENTS.md.
+
+Set ``REPRO_FULL=1`` to run at the paper's problem sizes (slower);
+default sizes are scaled down but preserve every qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+@pytest.fixture
+def record_result():
+    """Write (and print) a named experiment artifact."""
+
+    def write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return write

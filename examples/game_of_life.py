@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Conway's Game of Life as a MapOverlap skeleton — a dead-simple
+stencil showing the paper's `get()` API (§3.4) with NEUTRAL boundaries
+(the world edge counts as dead).
+
+Run:  python examples/game_of_life.py [generations]
+"""
+
+import sys
+
+import numpy as np
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.skelcl import MapOverlap, Matrix, SCL_NEUTRAL
+
+LIFE_RULE = """
+uchar func(const uchar* world) {
+    int neighbours = 0;
+    for (int dx = -1; dx <= 1; ++dx)
+        for (int dy = -1; dy <= 1; ++dy)
+            if (dx != 0 || dy != 0)
+                neighbours += get(world, dx, dy);
+    uchar alive = get(world, 0, 0);
+    if (alive) {
+        return (neighbours == 2 || neighbours == 3) ? 1 : 0;
+    }
+    return (neighbours == 3) ? 1 : 0;
+}
+"""
+
+
+def glider_world(height=20, width=40):
+    world = np.zeros((height, width), dtype=np.uint8)
+    glider = [(0, 1), (1, 2), (2, 0), (2, 1), (2, 2)]
+    for r, c in glider:
+        world[r + 1, c + 1] = 1
+    # A blinker and a block, for variety.
+    world[8, 20:23] = 1
+    world[14:16, 30:32] = 1
+    return world
+
+
+def show(world):
+    print("\n".join("".join("#" if cell else "." for cell in row) for row in world))
+
+
+def main() -> None:
+    generations = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    skelcl.init(num_devices=2, spec=ocl.TESLA_T10)
+
+    step = MapOverlap(LIFE_RULE, 1, SCL_NEUTRAL, 0)
+    world = Matrix(data=glider_world())
+
+    print("generation 0:")
+    show(world.to_numpy())
+    for generation in range(1, generations + 1):
+        world = step(world)
+    print(f"\ngeneration {generations}:")
+    show(world.to_numpy())
+
+    population = int(world.to_numpy().sum())
+    print(f"\npopulation: {population} "
+          f"(static bounds proof: {step.bounds_proof.proven})")
+    skelcl.terminate()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Iterative Jacobi heat diffusion on MapOverlap (the numerical stencil
+workload §3.4 motivates), with the convergence check composed from Zip
+and Reduce.  Intermediate grids never leave the GPUs.
+
+Run:  python examples/heat_diffusion.py [size] [max_iterations]
+"""
+
+import sys
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.apps.heat import HeatDiffusion, hot_spot_grid
+
+RAMP = " .:*#@"
+
+
+def preview(grid, cols=64, rows=16):
+    peak = grid.max() or 1.0
+    lines = []
+    for r in range(rows):
+        row = []
+        for c in range(cols):
+            value = grid[r * grid.shape[0] // rows, c * grid.shape[1] // cols]
+            row.append(RAMP[min(int(value / peak * len(RAMP)), len(RAMP) - 1)])
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+    max_iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 60
+
+    runtime = skelcl.init(num_devices=2, spec=ocl.TESLA_T10)
+    grid = hot_spot_grid(size)
+    print("initial hot spot:")
+    print(preview(grid))
+
+    heat = HeatDiffusion(alpha=1.0)
+    result = heat.run(grid, max_iterations=max_iterations, tolerance=1e-3)
+
+    print(f"\nafter {result.iterations} Jacobi sweeps "
+          f"(residual {result.residual:.5f}):")
+    print(preview(result.grid))
+
+    kernel_ms = max(q.total_kernel_ns for q in runtime.queues) / 1e6
+    moved = sum(q.total_transfer_bytes for q in runtime.queues) / 1024
+    print(f"\nsimulated kernel time: {kernel_ms:.3f} ms on {runtime.num_devices} GPUs; "
+          f"transfers: {moved:.0f} KiB (halo exchanges between sweeps)")
+    skelcl.terminate()
+
+
+if __name__ == "__main__":
+    main()

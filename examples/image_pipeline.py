@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""An image-processing pipeline chaining skeletons: Gaussian blur →
+Sobel edges → binary threshold → edge-pixel count.
+
+Demonstrates §3.2's point that "applications often require different
+distributions for their computational steps": the intermediates move
+between block and overlap distributions implicitly (halo exchanges on
+multiple GPUs), and nothing returns to the host until the final count.
+
+Run:  python examples/image_pipeline.py [size]
+"""
+
+import sys
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.apps.gaussian import GaussianBlur
+from repro.apps.images import synthetic_image
+from repro.apps.sobel import SobelEdgeDetection
+from repro.skelcl import Map, Matrix, Reduce
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    runtime = skelcl.init(num_devices=2, spec=ocl.TESLA_FERMI_480)
+
+    blur = GaussianBlur()
+    sobel = SobelEdgeDetection()
+    threshold = Map("uchar func(uchar x, int t) { return x > t ? 1 : 0; }")
+    count = Reduce("int func(int a, int b) { return a + b; }")
+    widen = Map("int func(uchar x) { return x; }")
+
+    image = Matrix(data=synthetic_image(size, size))
+
+    blurred = blur(image)          # MapOverlap, NEAREST boundaries
+    edges = sobel(blurred)         # MapOverlap, NEUTRAL boundaries
+    binary = threshold(edges, 40)  # Map with an additional argument
+    edge_pixels = count(widen(binary)).get_value()
+
+    total = size * size
+    print(f"{size}x{size} pipeline on {runtime.num_devices} simulated GPUs:")
+    print(f"  edge pixels: {edge_pixels} ({edge_pixels / total:.1%} of the image)")
+
+    kernel_ms = max(q.total_kernel_ns for q in runtime.queues) / 1e6
+    transfers = sum(q.total_transfer_bytes for q in runtime.queues)
+    reads = sum(
+        e.info.get("bytes", 0)
+        for q in runtime.queues
+        for e in q.events
+        if e.command_type == "read_buffer"
+    )
+    print(f"  simulated kernel time: {kernel_ms:.3f} ms")
+    print(f"  PCIe traffic: {transfers / 1024:.0f} KiB total, "
+          f"{reads / 1024:.0f} KiB of it downloads")
+    print("  (intermediates stayed device-resident; only halo rows and the")
+    print("   reduction partials crossed the bus)")
+    skelcl.terminate()
+
+
+if __name__ == "__main__":
+    main()

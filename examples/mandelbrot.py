@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Mandelbrot rendering with the Map skeleton (the paper's §4.1 study).
+
+Renders the fractal on 1-4 simulated GPUs, prints an ASCII preview and
+the simulated kernel times, and writes a PGM image.
+
+Run:  python examples/mandelbrot.py [width] [height]
+"""
+
+import sys
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.apps.mandelbrot import Mandelbrot
+
+ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_preview(image, cols: int = 72, rows: int = 24) -> str:
+    height, width = image.shape
+    lines = []
+    for r in range(rows):
+        row = []
+        for c in range(cols):
+            value = image[r * height // rows, c * width // cols]
+            row.append(ASCII_RAMP[min(int(value) * len(ASCII_RAMP) // 256, len(ASCII_RAMP) - 1)])
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def write_pgm(path: str, image) -> None:
+    height, width = image.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P5\n{width} {height}\n255\n".encode())
+        handle.write(image.tobytes())
+
+
+def main() -> None:
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 288
+    height = int(sys.argv[2]) if len(sys.argv) > 2 else 192
+
+    image = None
+    for devices in (1, 2, 4):
+        skelcl.init(num_devices=devices, spec=ocl.TESLA_T10)
+        app = Mandelbrot(max_iterations=100)
+        image = app.render_image(width, height)
+        kernel_ms = app.last_kernel_time_ns / 1e6
+        print(f"{devices} GPU(s): simulated kernel time {kernel_ms:8.3f} ms")
+        skelcl.terminate()
+
+    print()
+    print(ascii_preview(image))
+    write_pgm("mandelbrot.pgm", image)
+    print("\nwrote mandelbrot.pgm")
+
+
+if __name__ == "__main__":
+    main()

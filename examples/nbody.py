@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""N-body simulation with the AllPairs skeleton — the physics workload
+the paper cites as motivation for all-pairs computations (§3.5).
+
+The force evaluation is pure skeleton composition: a raw AllPairs builds
+the n×n interaction matrix, matrix-vector products (AllPairs again)
+turn it into accelerations, and Zip skeletons integrate with leapfrog.
+
+Run:  python examples/nbody.py [bodies] [steps]
+"""
+
+import sys
+
+import numpy as np
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.apps.nbody import NBodySimulation, plummer_sphere
+
+
+def main() -> None:
+    bodies = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 25
+
+    runtime = skelcl.init(num_devices=2, spec=ocl.TESLA_T10)
+    sim = NBodySimulation(plummer_sphere(bodies), softening=0.1)
+
+    initial_energy = sim.total_energy()
+    print(f"{bodies} bodies, {steps} leapfrog steps on {runtime.num_devices} simulated GPUs")
+    print(f"initial energy: {initial_energy:+.6f}")
+
+    for step in range(steps):
+        sim.step(dt=0.01)
+        if (step + 1) % 5 == 0:
+            energy = sim.total_energy()
+            drift = (energy - initial_energy) / abs(initial_energy) * 100.0
+            radius = float(np.sqrt((sim.state.positions**2).sum(axis=1)).mean())
+            print(f"step {step + 1:3d}: energy {energy:+.6f} ({drift:+.3f}% drift), "
+                  f"mean radius {radius:.3f}")
+
+    kernel_ms = sum(q.total_kernel_ns for q in runtime.queues) / 1e6
+    transfer_mb = sum(q.total_transfer_bytes for q in runtime.queues) / (1 << 20)
+    print(f"\nsimulated kernel time: {kernel_ms:.2f} ms, "
+          f"implicit transfers: {transfer_mb:.1f} MiB")
+    skelcl.terminate()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: the dot product from the paper's Listing 1.1.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro.skelcl as skelcl
+
+SIZE = 1024
+
+
+def main() -> None:
+    # Initialize SkelCL on two simulated GPUs (SkelCL::init()).
+    skelcl.init(num_devices=2)
+
+    # Create skeletons, customized with OpenCL-C function strings.
+    sum_up = skelcl.Reduce("float sum(float x, float y) { return x + y; }")
+    mult = skelcl.Zip("float mult(float x, float y) { return x * y; }")
+
+    # Create input vectors and fill them with data (host-side access;
+    # transfers to the GPUs happen implicitly on first use).
+    a = skelcl.Vector(SIZE)
+    b = skelcl.Vector(SIZE)
+    for i in range(SIZE):
+        a[i] = i
+        b[i] = 2.0
+
+    # Execute the skeletons: C = sum( mult( A, B ) ).
+    c = sum_up(mult(a, b))
+
+    # Fetch the result.
+    value = c.get_value()
+    expected = float(np.dot(np.arange(SIZE, dtype=np.float32), np.full(SIZE, 2.0, np.float32)))
+    print(f"dot product  = {value}")
+    print(f"numpy agrees = {abs(value - expected) < 1e-2}")
+
+    # How much implicit data movement did the library do for us?
+    runtime = skelcl.get_runtime()
+    moved = sum(q.total_transfer_bytes for q in runtime.queues)
+    print(f"implicit transfers: {moved} bytes across {runtime.num_devices} GPUs")
+
+    skelcl.terminate()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Sobel edge detection with MapOverlap (the paper's §4.2 study,
+Listing 1.5) — compared against the AMD- and NVIDIA-style OpenCL
+baselines on the same simulated Tesla GPU.
+
+Run:  python examples/sobel_edge_detection.py [size]
+"""
+
+import sys
+
+import numpy as np
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.apps.images import sobel_reference_uchar, synthetic_image
+from repro.apps.sobel import SobelEdgeDetection
+from repro.baselines.sobel_amd import SobelAmd
+from repro.baselines.sobel_nvidia import SobelNvidia
+from repro.reporting import render_bars
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    image = synthetic_image(size, size)  # the paper uses 512x512 Lena
+    reference = sobel_reference_uchar(image)
+
+    context = ocl.Context.create(ocl.TESLA_FERMI_480)
+    amd_edges, amd_event = SobelAmd(context).run(image)
+    nvidia_edges, nvidia_event = SobelNvidia(context).run(image)
+
+    skelcl.init(num_devices=1, spec=ocl.TESLA_FERMI_480)
+    app = SobelEdgeDetection()
+    skelcl_edges = app.detect(image)
+    skelcl_event = app.last_events[-1]
+
+    print("correctness vs numpy reference:")
+    print(f"  AMD (interior): {np.array_equal(amd_edges[1:-1, 1:-1], reference[1:-1, 1:-1])}")
+    print(f"  NVIDIA:         {np.array_equal(nvidia_edges, reference)}")
+    print(f"  SkelCL:         {np.array_equal(skelcl_edges, reference)}")
+    print(f"  static bounds proof: {app.map_overlap.bounds_proof.proven} "
+          f"(runtime get() checks elided: {app.map_overlap.checks_elided})")
+    print()
+    print(render_bars(
+        {
+            "OpenCL (AMD)": amd_event.duration_ms,
+            "OpenCL (NVIDIA)": nvidia_event.duration_ms,
+            "SkelCL": skelcl_event.duration_ms,
+        },
+        unit="ms",
+        title=f"Sobel kernel runtimes, {size}x{size} (cf. the paper's Fig. 5)",
+        reference={"OpenCL (AMD)": 0.17, "OpenCL (NVIDIA)": 0.07, "SkelCL": 0.065},
+    ))
+    skelcl.terminate()
+
+
+if __name__ == "__main__":
+    main()

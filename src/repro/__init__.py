@@ -1,0 +1,13 @@
+"""repro: a reproduction of SkelCL (Steuwer & Gorlatch, PaCT 2013).
+
+Subpackages:
+
+* :mod:`repro.kernelc` — OpenCL-C subset compiler front-end + backends
+* :mod:`repro.ocl` — simulated OpenCL runtime (devices, queues, buffers)
+* :mod:`repro.skelcl` — the SkelCL library: containers, distributions,
+  and the six algorithmic skeletons
+* :mod:`repro.baselines` — CUDA/OpenCL-level comparison implementations
+* :mod:`repro.apps` — applications used by the paper's evaluation
+"""
+
+__version__ = "1.0.0"

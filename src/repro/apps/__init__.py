@@ -1,0 +1,2 @@
+"""repro.apps: the applications of the paper's evaluation (§4) plus the
+motivating workloads of §3.5, implemented on the SkelCL public API."""

@@ -1,0 +1,27 @@
+"""Dot product with SkelCL (Listing 1.1): ``C = sum( mult( A, B ) )``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..skelcl import Reduce, Scalar, Vector, Zip
+
+
+class DotProduct:
+    """The paper's Listing 1.1, as a reusable object."""
+
+    def __init__(self):
+        self.sum = Reduce("float sum(float x, float y) { return x + y; }")
+        self.mult = Zip("float mult(float x, float y) { return x * y; }")
+
+    def __call__(self, a: Vector, b: Vector) -> Scalar:
+        return self.sum(self.mult(a, b))
+
+    def compute(self, a: np.ndarray, b: np.ndarray) -> float:
+        result = self(Vector(data=a.astype(np.float32)), Vector(data=b.astype(np.float32)))
+        return result.get_value()
+
+
+def dot_product(a: np.ndarray, b: np.ndarray) -> float:
+    """One-shot helper mirroring Listing 1.1's main()."""
+    return DotProduct().compute(a, b)

@@ -1,0 +1,41 @@
+"""Gaussian blur via MapOverlap — a second stencil application of the
+kind §3.4 motivates ("numerical and image processing applications")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..skelcl import BoundaryMode, MapOverlap, Matrix
+
+# 3x3 binomial kernel (1 2 1; 2 4 2; 1 2 1) / 16, NEAREST boundaries.
+GAUSSIAN_FUNC = """
+uchar func(const uchar* img) {
+    int sum = 1 * get(img, -1, -1) + 2 * get(img, 0, -1) + 1 * get(img, +1, -1)
+            + 2 * get(img, -1,  0) + 4 * get(img, 0,  0) + 2 * get(img, +1,  0)
+            + 1 * get(img, -1, +1) + 2 * get(img, 0, +1) + 1 * get(img, +1, +1);
+    return (uchar)(sum / 16);
+}
+"""
+
+
+class GaussianBlur:
+    def __init__(self):
+        self.map_overlap = MapOverlap(GAUSSIAN_FUNC, 1, BoundaryMode.NEAREST)
+
+    def __call__(self, image: Matrix) -> Matrix:
+        return self.map_overlap(image)
+
+    def blur(self, image: np.ndarray) -> np.ndarray:
+        return self.map_overlap(Matrix(data=image.astype(np.uint8))).to_numpy()
+
+
+def gaussian_reference(image: np.ndarray) -> np.ndarray:
+    """numpy oracle with edge-replicated boundaries."""
+    padded = np.pad(image.astype(np.int64), 1, mode="edge")
+    weights = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]])
+    h, w = image.shape
+    out = np.zeros((h, w), dtype=np.int64)
+    for di in range(3):
+        for dj in range(3):
+            out += weights[di, dj] * padded[di : di + h, dj : dj + w]
+    return (out // 16).astype(np.uint8)

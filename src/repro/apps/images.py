@@ -1,0 +1,71 @@
+"""Synthetic test images.
+
+The paper uses the 512×512 "Lena" photograph for the Sobel experiment;
+we cannot redistribute it, so :func:`synthetic_image` generates a
+deterministic synthetic image of the same size and dtype with comparable
+structure (smooth gradients, sharp edges from geometric shapes, and mild
+noise) — Sobel's cost depends only on geometry/dtype, and its output is
+visually checkable on the shapes' edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def synthetic_image(height: int = 512, width: int = 512, seed: int = 2013) -> np.ndarray:
+    """A deterministic uchar image: gradient + shapes + light noise."""
+    rng = np.random.RandomState(seed)
+    ys, xs = np.mgrid[0:height, 0:width]
+
+    # Smooth background gradient.
+    image = 60.0 + 80.0 * (xs / max(width - 1, 1)) + 40.0 * (ys / max(height - 1, 1))
+
+    # A bright rectangle and a dark disk provide strong edges.
+    image[height // 8 : height // 3, width // 6 : width // 2] = 220.0
+    cy, cx, radius = int(height * 0.65), int(width * 0.6), min(height, width) // 5
+    disk = (ys - cy) ** 2 + (xs - cx) ** 2 <= radius**2
+    image[disk] = 25.0
+
+    # A diagonal stripe.
+    stripe = np.abs((xs - ys) % max(width // 4, 1)) < max(width // 64, 1)
+    image[stripe] = np.clip(image[stripe] + 60.0, 0, 255)
+
+    image += rng.normal(0.0, 2.0, size=image.shape)
+    return np.clip(image, 0, 255).astype(np.uint8)
+
+
+def checkerboard(height: int, width: int, tile: int = 8) -> np.ndarray:
+    """A checkerboard pattern (useful for edge-detector tests)."""
+    ys, xs = np.mgrid[0:height, 0:width]
+    return (((ys // tile) + (xs // tile)) % 2 * 255).astype(np.uint8)
+
+
+def sobel_reference(image: np.ndarray) -> np.ndarray:
+    """Reference Sobel magnitude with zero (neutral) boundary handling,
+    computed with numpy, matching the paper's kernels (uchar saturation
+    is NOT applied; values wrap as the C char arithmetic does — use
+    :func:`sobel_reference_uchar` for the stored result)."""
+    img = image.astype(np.float64)
+    padded = np.pad(img, 1)
+
+    def shifted(di, dj):
+        return padded[1 + di : 1 + di + img.shape[0], 1 + dj : 1 + dj + img.shape[1]]
+
+    gx = (
+        -1 * shifted(-1, -1) + 1 * shifted(-1, 1)
+        - 2 * shifted(0, -1) + 2 * shifted(0, 1)
+        - 1 * shifted(1, -1) + 1 * shifted(1, 1)
+    )
+    gy = (
+        -1 * shifted(-1, -1) - 2 * shifted(-1, 0) - 1 * shifted(-1, 1)
+        + 1 * shifted(1, -1) + 2 * shifted(1, 0) + 1 * shifted(1, 1)
+    )
+    return np.sqrt(gx * gx + gy * gy)
+
+
+def sobel_reference_uchar(image: np.ndarray) -> np.ndarray:
+    """The magnitude as stored through a uchar pointer (mod-256 wrap,
+    truncation toward zero), matching the kernels in this repo."""
+    magnitude = sobel_reference(image)
+    return (magnitude.astype(np.int64) % 256).astype(np.uint8)

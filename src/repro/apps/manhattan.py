@@ -1,0 +1,38 @@
+"""Pairwise Manhattan distance via AllPairs — the bioinformatics
+workload motivating §3.5 (ref [12] of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..skelcl import AllPairs, Matrix
+
+MANHATTAN_FUNC = """
+float func(const float* a, const float* b, int d) {
+    float sum = 0.0f;
+    for (int k = 0; k < d; ++k) {
+        sum += fabs(a[k] - b[k]);
+    }
+    return sum;
+}
+"""
+
+
+class ManhattanDistance:
+    """All pairwise L1 distances between the rows of two matrices."""
+
+    def __init__(self):
+        self.allpairs = AllPairs(source=MANHATTAN_FUNC)
+
+    def __call__(self, a: Matrix, b: Matrix) -> Matrix:
+        return self.allpairs(a, b)
+
+    def compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        result = self.allpairs(
+            Matrix(data=a.astype(np.float32)), Matrix(data=b.astype(np.float32))
+        )
+        return result.to_numpy()
+
+
+def manhattan_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return ManhattanDistance().compute(a, b)

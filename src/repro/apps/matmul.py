@@ -1,0 +1,39 @@
+"""Matrix multiplication via the AllPairs skeleton (§3.5, Example 1):
+
+    A × B = allpairs(dotProduct)(A, Bᵀ)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..skelcl import AllPairs, Matrix, Reduce, Zip
+
+
+class MatrixMultiplication:
+    """``C = A × B`` expressed as allpairs(zip·reduce)(A, Bᵀ)."""
+
+    def __init__(self):
+        self.allpairs = AllPairs(
+            Reduce("float add(float x, float y) { return x + y; }"),
+            Zip("float mul(float x, float y) { return x * y; }"),
+        )
+
+    def __call__(self, a: Matrix, b_transposed: Matrix) -> Matrix:
+        return self.allpairs(a, b_transposed)
+
+    def compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """numpy in/out; transposes ``b`` as the skeleton requires."""
+        result = self.allpairs(
+            Matrix(data=a.astype(np.float32)),
+            Matrix(data=np.ascontiguousarray(b.T.astype(np.float32))),
+        )
+        return result.to_numpy()
+
+    @property
+    def last_events(self):
+        return self.allpairs.last_events
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return MatrixMultiplication().compute(a, b)

@@ -1,0 +1,163 @@
+"""Gravitational N-body simulation — the physics workload the paper
+cites as motivation for the AllPairs skeleton (§3.5, its ref [3]:
+"N-Body simulations used in physics").
+
+The all-pairs structure is expressed with the skeletons themselves:
+
+1. ``S = allpairs(kernel)(P, P)`` — the n×n interaction matrix with
+   entries ``S[i,j] = m_j / (r_ij² + ε²)^{3/2}`` (softened gravity),
+   computed by a raw AllPairs over the position rows;
+2. accelerations reduce to matrix-vector products with S, which are
+   themselves all-pairs computations:
+   ``a_x = S·x − x ∘ (S·1)`` (and likewise for y, z), using the
+   identity Σ_j S_ij (x_j − x_i) = (S·x)_i − x_i (S·1)_i;
+3. the leapfrog integration step is a chain of Zip skeletons.
+
+Positions are stored as an n×3 matrix (one row per body, matching the
+paper's "an entity is usually described by a d-dimensional vector").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..skelcl import AllPairs, Matrix, Vector, Zip
+
+# S[i,j] = mass_j / (|p_i - p_j|^2 + eps^2)^(3/2); the row layout is
+# [x, y, z, mass], so d == 4 and the mass rides along with the position.
+_INTERACTION_FUNC = """
+float func(const float* a, const float* b, int d) {
+    float dx = b[0] - a[0];
+    float dy = b[1] - a[1];
+    float dz = b[2] - a[2];
+    float dist_sq = dx * dx + dy * dy + dz * dz + {eps_sq}f;
+    float inv = rsqrt(dist_sq);
+    return b[3] * inv * inv * inv;
+}
+"""
+
+# Matrix-vector product as an all-pairs row operation: the "vector" is a
+# 1-row matrix, and each (row of S, the vector) pair folds to a dot
+# product.
+_DOT_FUNC = """
+float func(const float* row, const float* vec, int d) {
+    float sum = 0.0f;
+    for (int k = 0; k < d; ++k) {
+        sum += row[k] * vec[k];
+    }
+    return sum;
+}
+"""
+
+_AXPY_FUNC = "float func(float x, float y, float a) { return x + a * y; }"
+
+
+@dataclass
+class NBodyState:
+    positions: np.ndarray  # (n, 3) float32
+    velocities: np.ndarray  # (n, 3) float32
+    masses: np.ndarray  # (n,) float32
+
+
+class NBodySimulation:
+    """Softened gravitational N-body, integrated with leapfrog."""
+
+    def __init__(self, state: NBodyState, softening: float = 0.05, g_constant: float = 1.0):
+        self.state = NBodyState(
+            state.positions.astype(np.float32).copy(),
+            state.velocities.astype(np.float32).copy(),
+            state.masses.astype(np.float32).copy(),
+        )
+        self.softening = float(softening)
+        self.g_constant = float(g_constant)
+        eps_sq = repr(self.softening * self.softening)
+        self.interaction = AllPairs(source=_INTERACTION_FUNC.replace("{eps_sq}", eps_sq))
+        self.matvec = AllPairs(source=_DOT_FUNC)
+        self.axpy = Zip(_AXPY_FUNC)
+
+    @property
+    def num_bodies(self) -> int:
+        return len(self.state.masses)
+
+    # -- force evaluation ---------------------------------------------------
+
+    def _interaction_matrix(self) -> Matrix:
+        rows = np.concatenate(
+            [self.state.positions, self.state.masses[:, None]], axis=1
+        ).astype(np.float32)
+        entities = Matrix(data=rows)
+        return self.interaction(entities, entities)
+
+    def accelerations(self) -> np.ndarray:
+        """a_i = G * Σ_j m_j (p_j − p_i) / (r² + ε²)^{3/2} via skeletons."""
+        s_matrix = self._interaction_matrix()
+        ones = Matrix(data=np.ones((1, self.num_bodies), np.float32))
+        row_sums = self.matvec(s_matrix, ones).to_numpy()[:, 0]
+
+        acc = np.empty((self.num_bodies, 3), np.float32)
+        for axis in range(3):
+            component = np.ascontiguousarray(self.state.positions[:, axis]).astype(np.float32)
+            weighted = self.matvec(s_matrix, Matrix(data=component[None, :])).to_numpy()[:, 0]
+            acc[:, axis] = self.g_constant * (weighted - component * row_sums)
+        return acc
+
+    # -- integration ------------------------------------------------------------
+
+    def step(self, dt: float) -> None:
+        """One leapfrog (kick-drift-kick) step, advanced with Zip skeletons."""
+        acc = self.accelerations()
+        half = dt / 2.0
+        for axis in range(3):
+            vel = Vector(data=np.ascontiguousarray(self.state.velocities[:, axis]))
+            kick = self.axpy(vel, Vector(data=np.ascontiguousarray(acc[:, axis])), half)
+            self.state.velocities[:, axis] = kick.to_numpy()
+        for axis in range(3):
+            pos = Vector(data=np.ascontiguousarray(self.state.positions[:, axis]))
+            drift = self.axpy(pos, Vector(data=np.ascontiguousarray(self.state.velocities[:, axis])), dt)
+            self.state.positions[:, axis] = drift.to_numpy()
+        acc = self.accelerations()
+        for axis in range(3):
+            vel = Vector(data=np.ascontiguousarray(self.state.velocities[:, axis]))
+            kick = self.axpy(vel, Vector(data=np.ascontiguousarray(acc[:, axis])), half)
+            self.state.velocities[:, axis] = kick.to_numpy()
+
+    def run(self, steps: int, dt: float = 0.01) -> NBodyState:
+        for _ in range(steps):
+            self.step(dt)
+        return self.state
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def total_energy(self) -> float:
+        """Kinetic + (softened) potential energy, for drift checks."""
+        velocities = self.state.velocities.astype(np.float64)
+        masses = self.state.masses.astype(np.float64)
+        kinetic = 0.5 * float(np.sum(masses * np.sum(velocities**2, axis=1)))
+        positions = self.state.positions.astype(np.float64)
+        delta = positions[:, None, :] - positions[None, :, :]
+        dist = np.sqrt(np.sum(delta**2, axis=2) + self.softening**2)
+        pair = masses[:, None] * masses[None, :] / dist
+        np.fill_diagonal(pair, 0.0)
+        potential = -0.5 * self.g_constant * float(pair.sum())
+        return kinetic + potential
+
+
+def accelerations_reference(state: NBodyState, softening: float, g_constant: float = 1.0) -> np.ndarray:
+    """Vectorized numpy oracle for the skeleton-computed accelerations."""
+    positions = state.positions.astype(np.float64)
+    masses = state.masses.astype(np.float64)
+    delta = positions[None, :, :] - positions[:, None, :]  # [i, j, axis]
+    dist_sq = np.sum(delta**2, axis=2) + softening**2
+    inv_cube = dist_sq ** (-1.5)
+    weights = masses[None, :] * inv_cube
+    return (g_constant * np.sum(weights[:, :, None] * delta, axis=1)).astype(np.float32)
+
+
+def plummer_sphere(n: int, seed: int = 7) -> NBodyState:
+    """A simple random cluster (deterministic) for tests and the example."""
+    rng = np.random.RandomState(seed)
+    positions = rng.normal(0.0, 1.0, (n, 3)).astype(np.float32)
+    velocities = rng.normal(0.0, 0.1, (n, 3)).astype(np.float32)
+    masses = (rng.rand(n).astype(np.float32) * 0.9 + 0.1) / n
+    return NBodyState(positions, velocities, masses)

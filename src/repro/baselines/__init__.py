@@ -1,0 +1,3 @@
+"""repro.baselines: the CUDA- and OpenCL-level comparison implementations
+used by the paper's evaluation (§4), plus the reference sources the
+programming-effort (lines of code) comparison counts."""

@@ -1,0 +1,75 @@
+"""CUDA Mandelbrot baseline (the paper's §4.1 CUDA version), written in
+the CUDA dialect and executed through the :mod:`repro.baselines.cuda`
+translator on a device with the CUDA efficiency factor applied."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .cuda import CudaRuntime
+
+MANDELBROT_CUDA_KERNEL = """
+__global__ void mandelbrot(uchar* out, int width, int height,
+                           float x_min, float y_min,
+                           float dx, float dy, int max_iter) {
+    int px = blockIdx.x * blockDim.x + threadIdx.x;
+    int py = blockIdx.y * blockDim.y + threadIdx.y;
+    if (px >= width || py >= height) {
+        return;
+    }
+    float c_re = x_min + px * dx;
+    float c_im = y_min + py * dy;
+    float z_re = 0.0f;
+    float z_im = 0.0f;
+    int iter = 0;
+    while (z_re * z_re + z_im * z_im <= 4.0f && iter < max_iter) {
+        float t = z_re * z_re - z_im * z_im + c_re;
+        z_im = 2.0f * z_re * z_im + c_im;
+        z_re = t;
+        ++iter;
+    }
+    out[py * width + px] = (uchar)(iter % 256);
+}
+"""
+
+
+class MandelbrotCuda:
+    """CUDA host program: kernel launched with 16×16 blocks."""
+
+    def __init__(self, runtime: CudaRuntime, block=(16, 16)):
+        self.runtime = runtime
+        self.block = block
+
+    def run(
+        self,
+        width: int,
+        height: int,
+        max_iter: int,
+        bounds=(-2.5, 1.0, -1.25, 1.25),
+        sample_fraction: Optional[float] = None,
+    ):
+        """Render; returns ``(image, kernel_event)``."""
+        x_min, x_max, y_min, y_max = bounds
+        out = self.runtime.malloc(width * height, name="mandelbrot_out")
+        bx, by = self.block
+        grid = ((width + bx - 1) // bx, (height + by - 1) // by)
+        event = self.runtime.launch(
+            MANDELBROT_CUDA_KERNEL,
+            "mandelbrot",
+            grid,
+            self.block,
+            out,
+            width,
+            height,
+            x_min,
+            y_min,
+            (x_max - x_min) / width,
+            (y_max - y_min) / height,
+            max_iter,
+            sample_fraction=sample_fraction,
+        )
+        image, _ = self.runtime.memcpy_device_to_host(out, np.uint8, width * height)
+        out.free()
+        return image.reshape(height, width), event

@@ -1,0 +1,86 @@
+/*
+ * Dot product, OpenCL version in the style of the NVIDIA SDK's
+ * oclDotProduct sample (reference source for the §3.3 comparison;
+ * paper: ~68 LoC = 9 kernel + 59 host).
+ */
+#include <CL/cl.h>
+#include <stdio.h>
+#include <stdlib.h>
+
+#define CHECK(err, what)                                                      \
+    if ((err) != CL_SUCCESS) {                                                \
+        fprintf(stderr, "OpenCL error %d at %s\n", (err), what); exit(1); }
+
+// LOC: kernel begin
+static const char* kernel_source =
+    "__kernel void dot_product(__global const float* a,              \n"
+    "                          __global const float* b,              \n"
+    "                          __global float* c, const int n) {     \n"
+    "    int gid = get_global_id(0);                                 \n"
+    "    if (gid < n) {                                              \n"
+    "        c[gid] = a[gid] * b[gid];                               \n"
+    "    }                                                           \n"
+    "}                                                               \n";
+// LOC: kernel end
+
+int main(int argc, char** argv)
+{
+    const int n = 1048576;
+    const size_t bytes = n * sizeof(float);
+    cl_int err;
+
+    float* h_a = malloc(bytes);
+    float* h_b = malloc(bytes);
+    float* h_c = malloc(bytes);
+    for (int i = 0; i < n; ++i) { h_a[i] = (float)i; h_b[i] = 2.0f; }
+
+    cl_platform_id platform;
+    err = clGetPlatformIDs(1, &platform, NULL);
+    CHECK(err, "clGetPlatformIDs");
+    cl_device_id device;
+    err = clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, NULL);
+    CHECK(err, "clGetDeviceIDs");
+    cl_context context = clCreateContext(NULL, 1, &device, NULL, NULL, &err);
+    CHECK(err, "clCreateContext");
+    cl_command_queue queue = clCreateCommandQueue(context, device, 0, &err);
+    CHECK(err, "clCreateCommandQueue");
+
+    cl_program program =
+        clCreateProgramWithSource(context, 1, &kernel_source, NULL, &err);
+    CHECK(err, "clCreateProgramWithSource");
+    err = clBuildProgram(program, 1, &device, NULL, NULL, NULL);
+    CHECK(err, "clBuildProgram");
+    cl_kernel kernel = clCreateKernel(program, "dot_product", &err);
+    CHECK(err, "clCreateKernel");
+
+    cl_mem d_a = clCreateBuffer(context, CL_MEM_READ_ONLY, bytes, NULL, &err);
+    cl_mem d_b = clCreateBuffer(context, CL_MEM_READ_ONLY, bytes, NULL, &err);
+    cl_mem d_c = clCreateBuffer(context, CL_MEM_WRITE_ONLY, bytes, NULL, &err);
+    CHECK(err, "clCreateBuffer");
+    err = clEnqueueWriteBuffer(queue, d_a, CL_TRUE, 0, bytes, h_a, 0, NULL, NULL);
+    err |= clEnqueueWriteBuffer(queue, d_b, CL_TRUE, 0, bytes, h_b, 0, NULL, NULL);
+    CHECK(err, "clEnqueueWriteBuffer");
+
+    err = clSetKernelArg(kernel, 0, sizeof(cl_mem), &d_a);
+    err |= clSetKernelArg(kernel, 1, sizeof(cl_mem), &d_b);
+    err |= clSetKernelArg(kernel, 2, sizeof(cl_mem), &d_c);
+    err |= clSetKernelArg(kernel, 3, sizeof(int), &n);
+    CHECK(err, "clSetKernelArg");
+
+    size_t local_size = 256, global_size = ((n + 255) / 256) * 256;
+    err = clEnqueueNDRangeKernel(queue, kernel, 1, NULL,
+                                 &global_size, &local_size, 0, NULL, NULL);
+    CHECK(err, "clEnqueueNDRangeKernel");
+
+    err = clEnqueueReadBuffer(queue, d_c, CL_TRUE, 0, bytes, h_c, 0, NULL, NULL);
+    CHECK(err, "clEnqueueReadBuffer");
+    double result = 0.0;
+    for (int i = 0; i < n; ++i) result += h_c[i];
+    printf("dot product: %f\n", result);
+
+    clReleaseMemObject(d_a); clReleaseMemObject(d_b); clReleaseMemObject(d_c);
+    clReleaseKernel(kernel); clReleaseProgram(program);
+    clReleaseCommandQueue(queue); clReleaseContext(context);
+    free(h_a); free(h_b); free(h_c);
+    return 0;
+}

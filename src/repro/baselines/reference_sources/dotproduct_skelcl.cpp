@@ -1,0 +1,31 @@
+/*
+ * Dot product, SkelCL version — the paper's Listing 1.1, verbatim
+ * (reference source for the §3.3 programming-effort comparison).
+ */
+#include <SkelCL/SkelCL.h>
+#include <SkelCL/Zip.h>
+#include <SkelCL/Reduce.h>
+#include <SkelCL/Vector.h>
+
+// LOC: kernel begin
+// (the customizing functions are the one-line strings below)
+// LOC: kernel end
+
+int main(int argc, char const* argv[])
+{
+    skelcl::init(); /* initialize SkelCL */
+    /* create skeletons */
+    skelcl::Reduce<float> sum("float sum(float x, float y) { return x + y; }");
+    skelcl::Zip<float> mult("float mult(float x, float y) { return x * y; }");
+    /* create input vectors */
+    skelcl::Vector<float> A(SIZE);
+    skelcl::Vector<float> B(SIZE);
+    /* fill vectors with data */
+    fillVector(A.begin(), A.end());
+    fillVector(B.begin(), B.end());
+    /* execute skeleton */
+    skelcl::Scalar<float> C = sum(mult(A, B));
+    /* fetch result */
+    float c = C.getValue();
+    return c == c ? 0 : 1;
+}

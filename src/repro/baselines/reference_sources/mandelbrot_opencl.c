@@ -1,0 +1,150 @@
+/*
+ * Mandelbrot set, OpenCL version (reference source for the Fig. 4
+ * programming-effort comparison; paper: 118 LoC = 28 kernel + 90 host).
+ *
+ * The kernel is embedded as a string, as typical for OpenCL samples;
+ * the host program carries the full platform/context/program/buffer
+ * boilerplate the paper calls "lengthy".
+ */
+#include <CL/cl.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define X_MIN (-2.5f)
+#define Y_MIN (-1.25f)
+
+#define CHECK(err, what)                                                      \
+    if ((err) != CL_SUCCESS) {                                                \
+        fprintf(stderr, "OpenCL error %d at %s\n", (err), what); exit(1); }
+
+// LOC: kernel begin
+static const char* kernel_source =
+    "__kernel void mandelbrot_kernel(__global uchar* image,          \n"
+    "                                const int width,                \n"
+    "                                const int height,               \n"
+    "                                const float x_min,              \n"
+    "                                const float y_min,              \n"
+    "                                const float dx,                 \n"
+    "                                const float dy,                 \n"
+    "                                const int max_iter)             \n"
+    "{                                                               \n"
+    "    int px = get_global_id(0);                                  \n"
+    "    int py = get_global_id(1);                                  \n"
+    "    if (px >= width || py >= height) {                          \n"
+    "        return;                                                 \n"
+    "    }                                                           \n"
+    "    float c_re = x_min + px * dx;                               \n"
+    "    float c_im = y_min + py * dy;                               \n"
+    "    float z_re = 0.0f, z_im = 0.0f;                             \n"
+    "    int iter = 0;                                                \n"
+    "    while (z_re * z_re + z_im * z_im <= 4.0f && iter < max_iter) {\n"
+    "        float tmp = z_re * z_re - z_im * z_im + c_re;            \n"
+    "        z_im = 2.0f * z_re * z_im + c_im;                        \n"
+    "        z_re = tmp;                                              \n"
+    "        ++iter;                                                  \n"
+    "    }                                                            \n"
+    "    uchar gray = (iter >= max_iter) ? 0 : (uchar)(iter % 256);   \n"
+    "    image[py * width + px] = gray;                               \n"
+    "}                                                                \n";
+// LOC: kernel end
+
+int main(int argc, char** argv)
+{
+    const int width = 4096, height = 3072;
+    const int max_iter = 256;
+    const float dx = 3.5f / width;
+    const float dy = 2.5f / height;
+    const size_t image_bytes = (size_t)width * height;
+    cl_int err;
+
+    /* 1. Discover a platform. */
+    cl_uint num_platforms = 0;
+    err = clGetPlatformIDs(0, NULL, &num_platforms);
+    CHECK(err, "clGetPlatformIDs (count)");
+    if (num_platforms == 0) return EXIT_FAILURE;
+    cl_platform_id* platforms = malloc(num_platforms * sizeof(cl_platform_id));
+    err = clGetPlatformIDs(num_platforms, platforms, NULL);
+    CHECK(err, "clGetPlatformIDs");
+    cl_platform_id platform = platforms[0];
+    free(platforms);
+
+    /* 2. Discover a GPU device on it. */
+    cl_uint num_devices = 0;
+    err = clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 0, NULL, &num_devices);
+    CHECK(err, "clGetDeviceIDs (count)");
+    if (num_devices == 0) {
+        fprintf(stderr, "no GPU device found\n");
+        return EXIT_FAILURE;
+    }
+    cl_device_id device;
+    err = clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, NULL);
+    CHECK(err, "clGetDeviceIDs");
+
+    /* 3. Create context and command queue. */
+    cl_context context = clCreateContext(NULL, 1, &device, NULL, NULL, &err);
+    CHECK(err, "clCreateContext");
+    cl_command_queue queue = clCreateCommandQueue(context, device, 0, &err);
+    CHECK(err, "clCreateCommandQueue");
+
+    /* 4. Build the program and create the kernel. */
+    size_t source_length = strlen(kernel_source);
+    cl_program program = clCreateProgramWithSource(context, 1, &kernel_source,
+                                                   &source_length, &err);
+    CHECK(err, "clCreateProgramWithSource");
+    err = clBuildProgram(program, 1, &device, NULL, NULL, NULL);
+    if (err != CL_SUCCESS) {
+        char log[8192];
+        clGetProgramBuildInfo(program, device, CL_PROGRAM_BUILD_LOG,
+                              sizeof(log), log, NULL);
+        fprintf(stderr, "build failed:\n%s\n", log);
+        return EXIT_FAILURE;
+    }
+    cl_kernel kernel = clCreateKernel(program, "mandelbrot_kernel", &err);
+    CHECK(err, "clCreateKernel");
+
+    /* 5. Allocate the output buffer. */
+    cl_mem image_buffer = clCreateBuffer(context, CL_MEM_WRITE_ONLY,
+                                         image_bytes, NULL, &err);
+    CHECK(err, "clCreateBuffer");
+
+    /* 6. Set the kernel arguments, one call per argument. */
+    err = clSetKernelArg(kernel, 0, sizeof(cl_mem), &image_buffer);
+    err |= clSetKernelArg(kernel, 1, sizeof(int), &width);
+    err |= clSetKernelArg(kernel, 2, sizeof(int), &height);
+    float x_min = X_MIN, y_min = Y_MIN;
+    err |= clSetKernelArg(kernel, 3, sizeof(float), &x_min);
+    err |= clSetKernelArg(kernel, 4, sizeof(float), &y_min);
+    err |= clSetKernelArg(kernel, 5, sizeof(float), &dx);
+    err |= clSetKernelArg(kernel, 6, sizeof(float), &dy);
+    err |= clSetKernelArg(kernel, 7, sizeof(int), &max_iter);
+    CHECK(err, "clSetKernelArg");
+
+    /* 7. Launch with explicit 16x16 work-groups. */
+    size_t local_size[2] = { 16, 16 };
+    size_t global_size[2] = {
+        ((width + 15) / 16) * 16,
+        ((height + 15) / 16) * 16
+    };
+    err = clEnqueueNDRangeKernel(queue, kernel, 2, NULL,
+                                 global_size, local_size, 0, NULL, NULL);
+    CHECK(err, "clEnqueueNDRangeKernel");
+    err = clFinish(queue);
+    CHECK(err, "clFinish");
+
+    /* 8. Read the result back. */
+    unsigned char* h_image = malloc(image_bytes);
+    err = clEnqueueReadBuffer(queue, image_buffer, CL_TRUE, 0,
+                              image_bytes, h_image, 0, NULL, NULL);
+    CHECK(err, "clEnqueueReadBuffer");
+    fwrite(h_image, 1, image_bytes, stdout);
+
+    /* 9. Release everything. */
+    clReleaseMemObject(image_buffer);
+    clReleaseKernel(kernel);
+    clReleaseProgram(program);
+    clReleaseCommandQueue(queue);
+    clReleaseContext(context);
+    free(h_image);
+    return 0;
+}

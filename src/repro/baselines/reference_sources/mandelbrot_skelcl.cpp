@@ -1,0 +1,75 @@
+/*
+ * Mandelbrot set, SkelCL version (reference source for the Fig. 4
+ * programming-effort comparison; paper: 57 LoC = 26 kernel + 31 host).
+ *
+ * The "kernel" portion is the customizing function passed to the Map
+ * skeleton; the host portion is everything else — note the single-line
+ * initialization and the absence of buffer management.
+ */
+#include <SkelCL/SkelCL.h>
+#include <SkelCL/Map.h>
+#include <SkelCL/Vector.h>
+#include <cstdio>
+#include <cstdlib>
+
+// LOC: kernel begin
+static const char* mandelbrot_func =
+    "uchar func(int idx, int width,                                 \n"
+    "           float x_min, float y_min,                           \n"
+    "           float dx, float dy, int max_iter)                   \n"
+    "{                                                              \n"
+    "    int px = idx % width;                                      \n"
+    "    int py = idx / width;                                      \n"
+    "    float c_re = x_min + px * dx;                              \n"
+    "    float c_im = y_min + py * dy;                              \n"
+    "    float z_re = 0.0f;                                         \n"
+    "    float z_im = 0.0f;                                         \n"
+    "    float mag = 0.0f;                                          \n"
+    "    int iter = 0;                                              \n"
+    "    while (mag <= 4.0f && iter < max_iter) {                   \n"
+    "        float tmp = z_re * z_re - z_im * z_im + c_re;          \n"
+    "        z_im = 2.0f * z_re * z_im + c_im;                      \n"
+    "        z_re = tmp;                                            \n"
+    "        mag = z_re * z_re + z_im * z_im;                       \n"
+    "        ++iter;                                                \n"
+    "    }                                                          \n"
+    "    uchar gray = (uchar)(iter % 256);                          \n"
+    "    if (iter >= max_iter) {                                    \n"
+    "        gray = 0;                                              \n"
+    "    }                                                          \n"
+    "    return gray;                                               \n"
+    "}                                                              \n";
+// LOC: kernel end
+
+int main(int argc, char** argv)
+{
+    const int width = 4096, height = 3072, max_iter = 256;
+    const float x_min = -2.5f, y_min = -1.25f;
+    const float dx = 3.5f / width;
+    const float dy = 2.5f / height;
+
+    skelcl::init();
+
+    skelcl::Map<unsigned char(int)> mandelbrot(mandelbrot_func);
+
+    skelcl::Vector<int> indices(width * height);
+    for (int i = 0; i < width * height; ++i) {
+        indices[i] = i;
+    }
+
+    skelcl::Vector<unsigned char> image =
+        mandelbrot(indices, width, x_min, y_min, dx, dy, max_iter);
+
+    FILE* out = fopen("mandelbrot.pgm", "wb");
+    if (out == NULL) {
+        return EXIT_FAILURE;
+    }
+    fprintf(out, "P5\n%d %d\n255\n", width, height);
+    for (int i = 0; i < width * height; ++i) {
+        putc(image[i], out);
+    }
+    fclose(out);
+
+    skelcl::terminate();
+    return 0;
+}

@@ -1,0 +1,51 @@
+/*
+ * Sobel edge detection, AMD APP SDK style (reference kernel for the
+ * §4.2 programming-effort comparison; paper: 37 LoC).
+ *
+ * Straightforward: one work-item per pixel, nine global-memory loads
+ * with manual index arithmetic and explicit boundary checks; no local
+ * memory — which is why Fig. 5 shows it clearly slower.
+ */
+// LOC: kernel begin
+uchar compute_sobel(int ul, int um, int ur,
+                    int ml,         int mr,
+                    int ll, int lm, int lr)
+{
+    int horizontal = 0;
+    horizontal += -1 * ul + 1 * ur;
+    horizontal += -2 * ml + 2 * mr;
+    horizontal += -1 * ll + 1 * lr;
+    int vertical = 0;
+    vertical += -1 * ul - 2 * um - 1 * ur;
+    vertical += +1 * ll + 2 * lm + 1 * lr;
+    int magnitude = horizontal * horizontal + vertical * vertical;
+    float root = sqrt((float)magnitude);
+    return (uchar)root;
+}
+
+__kernel void sobel_kernel(__global const uchar* img,
+                           __global uchar* out_img)
+{
+    uint i = get_global_id(0);
+    uint j = get_global_id(1);
+    uint w = get_global_size(0);
+    uint h = get_global_size(1);
+
+    uint index = j * w + i;
+
+    /* perform boundary checks */
+    if (i >= 1 && i < (w - 1) && j >= 1 && j < (h - 1)) {
+        uchar ul = img[((j - 1) * w) + (i - 1)];
+        uchar um = img[((j - 1) * w) + (i + 0)];
+        uchar ur = img[((j - 1) * w) + (i + 1)];
+        uchar ml = img[((j + 0) * w) + (i - 1)];
+        uchar mr = img[((j + 0) * w) + (i + 1)];
+        uchar ll = img[((j + 1) * w) + (i - 1)];
+        uchar lm = img[((j + 1) * w) + (i + 0)];
+        uchar lr = img[((j + 1) * w) + (i + 1)];
+        out_img[index] = compute_sobel(ul, um, ur, ml, mr, ll, lm, lr);
+    } else if (i < w && j < h) {
+        out_img[index] = 0;
+    }
+}
+// LOC: kernel end

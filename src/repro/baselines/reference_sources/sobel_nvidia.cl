@@ -1,0 +1,255 @@
+/*
+ * Sobel edge detection, NVIDIA OpenCL SDK style (reference kernel for
+ * the §4.2 programming-effort comparison; paper: 208 LoC).
+ *
+ * Faithful to the SDK's SobelFilter sample structure: RGBA uchar4
+ * pixels, each work-item produces FOUR horizontally adjacent output
+ * pixels from a work-group-sized local-memory tile with halo, with
+ * explicitly unrolled halo loading for every edge and corner case and
+ * the per-pixel, per-channel gradient computation written out.  The
+ * length of this kernel versus Listing 1.5 *is* the paper's point.
+ */
+// LOC: kernel begin
+#define TILE_W 16
+#define TILE_H 16
+#define PIXELS_PER_ITEM 4
+#define SPAN_W (TILE_W * PIXELS_PER_ITEM)
+#define SHARED_W (SPAN_W + 2)
+#define SHARED_H (TILE_H + 2)
+#define CLAMP_TO_EDGE 1
+
+float4 unpack_pixel(uchar4 pixel)
+{
+    float4 result;
+    result.x = (float)pixel.x;
+    result.y = (float)pixel.y;
+    result.z = (float)pixel.z;
+    result.w = (float)pixel.w;
+    return result;
+}
+
+uchar4 pack_pixel(float4 value)
+{
+    uchar4 result;
+    result.x = (uchar)clamp(value.x, 0.0f, 255.0f);
+    result.y = (uchar)clamp(value.y, 0.0f, 255.0f);
+    result.z = (uchar)clamp(value.z, 0.0f, 255.0f);
+    result.w = (uchar)clamp(value.w, 0.0f, 255.0f);
+    return result;
+}
+
+int clamp_coord(int value, int limit)
+{
+    if (value < 0) {
+        return 0;
+    }
+    if (value >= limit) {
+        return limit - 1;
+    }
+    return value;
+}
+
+uchar4 fetch_pixel(__global const uchar4* img,
+                   int x, int y, int width, int height)
+{
+    int cx = clamp_coord(x, width);
+    int cy = clamp_coord(y, height);
+    return img[cy * width + cx];
+}
+
+float sobel_channel(float ul, float um, float ur,
+                    float ml,           float mr,
+                    float ll, float lm, float lr,
+                    float scale)
+{
+    float horizontal = 0.0f;
+    horizontal += -1.0f * ul + 1.0f * ur;
+    horizontal += -2.0f * ml + 2.0f * mr;
+    horizontal += -1.0f * ll + 1.0f * lr;
+    float vertical = 0.0f;
+    vertical += -1.0f * ul - 2.0f * um - 1.0f * ur;
+    vertical += +1.0f * ll + 2.0f * lm + 1.0f * lr;
+    float magnitude = sqrt(horizontal * horizontal
+                           + vertical * vertical);
+    return magnitude * scale;
+}
+
+float4 sobel_pixel(float4 pix_ul, float4 pix_um, float4 pix_ur,
+                   float4 pix_ml,                float4 pix_mr,
+                   float4 pix_ll, float4 pix_lm, float4 pix_lr,
+                   float scale)
+{
+    float4 magnitude;
+    magnitude.x = sobel_channel(pix_ul.x, pix_um.x, pix_ur.x,
+                                pix_ml.x, pix_mr.x,
+                                pix_ll.x, pix_lm.x, pix_lr.x,
+                                scale);
+    magnitude.y = sobel_channel(pix_ul.y, pix_um.y, pix_ur.y,
+                                pix_ml.y, pix_mr.y,
+                                pix_ll.y, pix_lm.y, pix_lr.y,
+                                scale);
+    magnitude.z = sobel_channel(pix_ul.z, pix_um.z, pix_ur.z,
+                                pix_ml.z, pix_mr.z,
+                                pix_ll.z, pix_lm.z, pix_lr.z,
+                                scale);
+    magnitude.w = sobel_channel(pix_ul.w, pix_um.w, pix_ur.w,
+                                pix_ml.w, pix_mr.w,
+                                pix_ll.w, pix_lm.w, pix_lr.w,
+                                scale);
+    return magnitude;
+}
+
+__kernel void sobel_filter(__global const uchar4* img,
+                           __global uchar4* out_img,
+                           const int width,
+                           const int height,
+                           const float scale)
+{
+    __local uchar4 tile[SHARED_H][SHARED_W];
+
+    const int lx = get_local_id(0);
+    const int ly = get_local_id(1);
+    const int gy = get_global_id(1);
+    const int group_x = get_group_id(0) * SPAN_W;
+    const int group_y = get_group_id(1) * TILE_H;
+    const int base_x = group_x + lx * PIXELS_PER_ITEM;
+
+    /* ------------------------------------------------------------ */
+    /* Stage the tile in local memory.  Each work-item loads its own */
+    /* four pixels; border work-items additionally load the halo.    */
+    /* ------------------------------------------------------------ */
+    tile[ly + 1][lx * PIXELS_PER_ITEM + 1] =
+        fetch_pixel(img, base_x + 0, gy, width, height);
+    tile[ly + 1][lx * PIXELS_PER_ITEM + 2] =
+        fetch_pixel(img, base_x + 1, gy, width, height);
+    tile[ly + 1][lx * PIXELS_PER_ITEM + 3] =
+        fetch_pixel(img, base_x + 2, gy, width, height);
+    tile[ly + 1][lx * PIXELS_PER_ITEM + 4] =
+        fetch_pixel(img, base_x + 3, gy, width, height);
+
+    /* left halo column */
+    if (lx == 0) {
+        tile[ly + 1][0] =
+            fetch_pixel(img, group_x - 1, gy, width, height);
+    }
+    /* right halo column */
+    if (lx == TILE_W - 1) {
+        tile[ly + 1][SHARED_W - 1] =
+            fetch_pixel(img, group_x + SPAN_W, gy, width, height);
+    }
+    /* top halo row: four pixels per item */
+    if (ly == 0) {
+        tile[0][lx * PIXELS_PER_ITEM + 1] =
+            fetch_pixel(img, base_x + 0, group_y - 1, width, height);
+        tile[0][lx * PIXELS_PER_ITEM + 2] =
+            fetch_pixel(img, base_x + 1, group_y - 1, width, height);
+        tile[0][lx * PIXELS_PER_ITEM + 3] =
+            fetch_pixel(img, base_x + 2, group_y - 1, width, height);
+        tile[0][lx * PIXELS_PER_ITEM + 4] =
+            fetch_pixel(img, base_x + 3, group_y - 1, width, height);
+    }
+    /* bottom halo row: four pixels per item */
+    if (ly == TILE_H - 1) {
+        tile[SHARED_H - 1][lx * PIXELS_PER_ITEM + 1] =
+            fetch_pixel(img, base_x + 0, group_y + TILE_H, width, height);
+        tile[SHARED_H - 1][lx * PIXELS_PER_ITEM + 2] =
+            fetch_pixel(img, base_x + 1, group_y + TILE_H, width, height);
+        tile[SHARED_H - 1][lx * PIXELS_PER_ITEM + 3] =
+            fetch_pixel(img, base_x + 2, group_y + TILE_H, width, height);
+        tile[SHARED_H - 1][lx * PIXELS_PER_ITEM + 4] =
+            fetch_pixel(img, base_x + 3, group_y + TILE_H, width, height);
+    }
+    /* top-left corner */
+    if (lx == 0 && ly == 0) {
+        tile[0][0] =
+            fetch_pixel(img, group_x - 1, group_y - 1, width, height);
+    }
+    /* top-right corner */
+    if (lx == TILE_W - 1 && ly == 0) {
+        tile[0][SHARED_W - 1] =
+            fetch_pixel(img, group_x + SPAN_W, group_y - 1, width, height);
+    }
+    /* bottom-left corner */
+    if (lx == 0 && ly == TILE_H - 1) {
+        tile[SHARED_H - 1][0] =
+            fetch_pixel(img, group_x - 1, group_y + TILE_H, width, height);
+    }
+    /* bottom-right corner */
+    if (lx == TILE_W - 1 && ly == TILE_H - 1) {
+        tile[SHARED_H - 1][SHARED_W - 1] =
+            fetch_pixel(img, group_x + SPAN_W, group_y + TILE_H,
+                        width, height);
+    }
+
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    if (gy >= height) {
+        return;
+    }
+
+    /* ------------------------------------------------------------ */
+    /* Compute the four output pixels, each from its 3x3 tile        */
+    /* neighbourhood, fully unrolled.                                */
+    /* ------------------------------------------------------------ */
+    const int ty = ly + 1;
+    const int tx0 = lx * PIXELS_PER_ITEM + 1;
+    const int out_row = gy * width;
+
+    /* pixel 0 */
+    if (base_x + 0 < width) {
+        float4 result0 = sobel_pixel(
+            unpack_pixel(tile[ty - 1][tx0 - 1]),
+            unpack_pixel(tile[ty - 1][tx0]),
+            unpack_pixel(tile[ty - 1][tx0 + 1]),
+            unpack_pixel(tile[ty][tx0 - 1]),
+            unpack_pixel(tile[ty][tx0 + 1]),
+            unpack_pixel(tile[ty + 1][tx0 - 1]),
+            unpack_pixel(tile[ty + 1][tx0]),
+            unpack_pixel(tile[ty + 1][tx0 + 1]),
+            scale);
+        out_img[out_row + base_x + 0] = pack_pixel(result0);
+    }
+    /* pixel 1 */
+    if (base_x + 1 < width) {
+        float4 result1 = sobel_pixel(
+            unpack_pixel(tile[ty - 1][tx0]),
+            unpack_pixel(tile[ty - 1][tx0 + 1]),
+            unpack_pixel(tile[ty - 1][tx0 + 2]),
+            unpack_pixel(tile[ty][tx0]),
+            unpack_pixel(tile[ty][tx0 + 2]),
+            unpack_pixel(tile[ty + 1][tx0]),
+            unpack_pixel(tile[ty + 1][tx0 + 1]),
+            unpack_pixel(tile[ty + 1][tx0 + 2]),
+            scale);
+        out_img[out_row + base_x + 1] = pack_pixel(result1);
+    }
+    /* pixel 2 */
+    if (base_x + 2 < width) {
+        float4 result2 = sobel_pixel(
+            unpack_pixel(tile[ty - 1][tx0 + 1]),
+            unpack_pixel(tile[ty - 1][tx0 + 2]),
+            unpack_pixel(tile[ty - 1][tx0 + 3]),
+            unpack_pixel(tile[ty][tx0 + 1]),
+            unpack_pixel(tile[ty][tx0 + 3]),
+            unpack_pixel(tile[ty + 1][tx0 + 1]),
+            unpack_pixel(tile[ty + 1][tx0 + 2]),
+            unpack_pixel(tile[ty + 1][tx0 + 3]),
+            scale);
+        out_img[out_row + base_x + 2] = pack_pixel(result2);
+    }
+    /* pixel 3 */
+    if (base_x + 3 < width) {
+        float4 result3 = sobel_pixel(
+            unpack_pixel(tile[ty - 1][tx0 + 2]),
+            unpack_pixel(tile[ty - 1][tx0 + 3]),
+            unpack_pixel(tile[ty - 1][tx0 + 4]),
+            unpack_pixel(tile[ty][tx0 + 2]),
+            unpack_pixel(tile[ty][tx0 + 4]),
+            unpack_pixel(tile[ty + 1][tx0 + 2]),
+            unpack_pixel(tile[ty + 1][tx0 + 3]),
+            unpack_pixel(tile[ty + 1][tx0 + 4]),
+            scale);
+        out_img[out_row + base_x + 3] = pack_pixel(result3);
+    }
+}
+// LOC: kernel end

@@ -1,0 +1,33 @@
+/*
+ * Sobel edge detection, SkelCL version — the paper's Listing 1.5 with
+ * the elided vertical gradient filled in (reference source for the
+ * §4.2 programming-effort comparison).
+ */
+#include <SkelCL/SkelCL.h>
+#include <SkelCL/MapOverlap.h>
+#include <SkelCL/Matrix.h>
+
+// LOC: kernel begin
+static const char* sobel_func =
+    "uchar func(const uchar* img) {                               \n"
+    "    short h = -1*get(img,-1,-1) +1*get(img,+1,-1)            \n"
+    "              -2*get(img,-1, 0) +2*get(img,+1, 0)            \n"
+    "              -1*get(img,-1,+1) +1*get(img,+1,+1);           \n"
+    "    short v = -1*get(img,-1,-1) -2*get(img, 0,-1)            \n"
+    "              -1*get(img,+1,-1) +1*get(img,-1,+1)            \n"
+    "              +2*get(img, 0,+1) +1*get(img,+1,+1);           \n"
+    "    return (uchar)sqrt((float)(h*h + v*v)); }                \n";
+// LOC: kernel end
+
+int main(int argc, char** argv)
+{
+    skelcl::init();
+    skelcl::Matrix<unsigned char> img = loadImage(argv[1]);
+    /* skeleton customized with Sobel edge detection algorithm */
+    skelcl::MapOverlap<unsigned char(unsigned char)> m(
+        sobel_func, 1, skelcl::Padding::NEUTRAL, 0);
+    skelcl::Matrix<unsigned char> out_img = m(img);
+    saveImage(argv[2], out_img);
+    skelcl::terminate();
+    return 0;
+}

@@ -1,0 +1,100 @@
+"""Command-line driver for the kernelc front-end.
+
+Usage::
+
+    python -m repro.kernelc FILE.cl            # compile, report kernels
+    python -m repro.kernelc FILE.cl --ast      # print the parsed AST
+    python -m repro.kernelc FILE.cl --print    # pretty-print the source
+    python -m repro.kernelc FILE.cl --python   # show the compiled Python
+    echo '...' | python -m repro.kernelc -     # read from stdin
+
+Exit status 0 on success, 1 on compile errors (diagnostics on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .compiler import compile_program
+from .diagnostics import CompileError
+from .frontend import compile_source
+from .preprocessor import PreprocessorError
+
+
+def _dump_ast(node, indent: int = 0, out=None) -> None:
+    from . import ast
+
+    if out is None:
+        out = sys.stdout
+    pad = "  " * indent
+    label = type(node).__name__
+    details = []
+    for name in ("name", "op", "value", "callee", "member"):
+        if hasattr(node, name) and not isinstance(getattr(node, name), (list, type(None))):
+            attr = getattr(node, name)
+            if not isinstance(attr, ast.Node):
+                details.append(f"{name}={attr!r}")
+    ctype = getattr(node, "ctype", None)
+    if ctype is not None:
+        details.append(f": {ctype}")
+    out.write(f"{pad}{label}{' ' + ' '.join(details) if details else ''}\n")
+    for child in ast.children(node):
+        _dump_ast(child, indent + 1, out)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.kernelc",
+                                     description="Compile an OpenCL-C kernel source.")
+    parser.add_argument("file", help="kernel source file ('-' for stdin)")
+    parser.add_argument("--ast", action="store_true", help="dump the checked AST")
+    parser.add_argument("--print", dest="pretty", action="store_true",
+                        help="pretty-print the parsed source")
+    parser.add_argument("--python", action="store_true",
+                        help="show the compiled Python code")
+    parser.add_argument("-D", dest="defines", action="append", default=[],
+                        metavar="NAME[=VALUE]", help="preprocessor define")
+    args = parser.parse_args(argv)
+
+    if args.file == "-":
+        source = sys.stdin.read()
+        name = "<stdin>"
+    else:
+        with open(args.file) as handle:
+            source = handle.read()
+        name = args.file
+
+    defines = {}
+    for item in args.defines:
+        key, _, value = item.partition("=")
+        defines[key] = value or "1"
+
+    try:
+        program = compile_source(source, name, defines)
+    except (CompileError, PreprocessorError) as exc:
+        sys.stderr.write(f"{exc}\n")
+        return 1
+
+    if args.ast:
+        _dump_ast(program)
+    elif args.pretty:
+        from .printer import print_program
+
+        sys.stdout.write(print_program(program))
+    elif args.python:
+        compiled = compile_program(program)
+        sys.stdout.write(compiled.source_code)
+    else:
+        kernels = ", ".join(k.name for k in program.kernels()) or "(none)"
+        helpers = [f.name for f in program.functions if not f.is_kernel]
+        print(f"{name}: OK")
+        print(f"  kernels: {kernels}")
+        if helpers:
+            print(f"  helpers: {', '.join(helpers)}")
+        if program.uses_barrier:
+            print("  uses barriers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

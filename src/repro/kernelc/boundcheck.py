@@ -1,0 +1,300 @@
+"""Static bounds checking for MapOverlap customizing functions.
+
+The paper (§3.4): *"In future work, we plan to avoid boundary checks at
+runtime by statically proving that all memory accesses are in bounds,
+as it is the case in the shown example."*  This module implements that
+plan: a conservative interval analysis over the (unchecked) AST of a
+customizing function that tries to prove every ``get(m, dx[, dy])``
+offset lies within ``[-d, +d]``.
+
+The analysis is a small abstract interpretation:
+
+* integer variables are tracked as intervals ``[lo, hi]`` (or ⊤);
+* simple counting loops (``for (int i = A; i <= B; ++i)`` and the
+  ``<``/``+=`` variants with constant bounds) bind the induction
+  variable to its iteration interval;
+* both branches of an ``if`` are joined;
+* anything else (unknown assignments, general loops) conservatively
+  widens the affected variables to ⊤.
+
+The proof is sound but incomplete: a success means the generated
+``get`` accessor can skip its runtime range check (the MapOverlap
+codegen then inlines it as a bare tile access); a failure keeps the
+checked path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from . import ast
+
+_UNBOUNDED = (float("-inf"), float("inf"))
+
+
+@dataclass(frozen=True)
+class Interval:
+    lo: float
+    hi: float
+
+    @staticmethod
+    def const(value: int) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(*_UNBOUNDED)
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == float("-inf") or self.hi == float("inf")
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        if self.is_top or other.is_top:
+            # inf*0 would be NaN; stay conservative.
+            return Interval.top()
+        corners = [self.lo * other.lo, self.lo * other.hi, self.hi * other.lo, self.hi * other.hi]
+        return Interval(min(corners), max(corners))
+
+    def within(self, lo: int, hi: int) -> bool:
+        return lo <= self.lo and self.hi <= hi
+
+
+class _Env:
+    def __init__(self, parent: Optional[Dict[str, Interval]] = None):
+        self.values: Dict[str, Interval] = dict(parent) if parent else {}
+
+    def copy(self) -> "_Env":
+        return _Env(self.values)
+
+    def join(self, other: "_Env") -> "_Env":
+        joined = _Env()
+        for name in set(self.values) | set(other.values):
+            a = self.values.get(name, Interval.top())
+            b = other.values.get(name, Interval.top())
+            joined.values[name] = a.join(b)
+        return joined
+
+
+@dataclass
+class BoundsProof:
+    """The result of the analysis."""
+
+    proven: bool
+    accesses: List[Tuple[Interval, ...]]
+    reason: str = ""
+
+
+class _Analyzer:
+    """Walks the customizing function, collecting get() offset intervals."""
+
+    def __init__(self, accessor_name: str = "get"):
+        self.accessor_name = accessor_name
+        self.accesses: List[Tuple[Interval, ...]] = []
+
+    # -- expression intervals ----------------------------------------------
+
+    def eval(self, expr: ast.Expr, env: _Env) -> Interval:
+        if isinstance(expr, ast.IntLiteral):
+            return Interval.const(expr.value)
+        if isinstance(expr, ast.CharLiteral):
+            return Interval.const(expr.value)
+        if isinstance(expr, ast.Identifier):
+            return env.values.get(expr.name, Interval.top())
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op == "-":
+                return -self.eval(expr.operand, env)
+            if expr.op == "+":
+                return self.eval(expr.operand, env)
+            return Interval.top()
+        if isinstance(expr, ast.BinaryOp):
+            left = self.eval(expr.left, env)
+            right = self.eval(expr.right, env)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            return Interval.top()
+        if isinstance(expr, ast.Conditional):
+            return self.eval(expr.then_expr, env).join(self.eval(expr.else_expr, env))
+        if isinstance(expr, ast.Cast):
+            return self.eval(expr.operand, env)
+        return Interval.top()
+
+    # -- collecting get() accesses everywhere in an expression ----------------
+
+    def scan_expr(self, expr: Optional[ast.Expr], env: _Env) -> None:
+        if expr is None:
+            return
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) and node.callee == self.accessor_name:
+                offsets = tuple(self.eval(arg, env) for arg in node.args[1:])
+                self.accesses.append(offsets)
+
+    # -- statements ------------------------------------------------------------
+
+    def exec_stmt(self, stmt: ast.Stmt, env: _Env) -> _Env:
+        if isinstance(stmt, ast.CompoundStmt):
+            for child in stmt.statements:
+                env = self.exec_stmt(child, env)
+            return env
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                if decl.init is not None:
+                    self.scan_expr(decl.init, env)
+                    env.values[decl.name] = self.eval(decl.init, env)
+                else:
+                    env.values[decl.name] = Interval.top()
+            return env
+        if isinstance(stmt, ast.ExprStmt):
+            self.scan_expr(stmt.expr, env)
+            return self._apply_assignments(stmt.expr, env)
+        if isinstance(stmt, ast.IfStmt):
+            self.scan_expr(stmt.condition, env)
+            then_env = self.exec_stmt(stmt.then_branch, env.copy())
+            else_env = self.exec_stmt(stmt.else_branch, env.copy()) if stmt.else_branch else env.copy()
+            return then_env.join(else_env)
+        if isinstance(stmt, ast.ForStmt):
+            return self._exec_for(stmt, env)
+        if isinstance(stmt, (ast.WhileStmt, ast.DoStmt)):
+            body = stmt.body
+            self._havoc_assigned(body, env)
+            self.scan_expr(stmt.condition, env)
+            self.exec_stmt(body, env.copy())
+            return env
+        if isinstance(stmt, ast.ReturnStmt):
+            self.scan_expr(stmt.value, env)
+            return env
+        if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            return env
+        if isinstance(stmt, ast.SwitchStmt):
+            self.scan_expr(stmt.subject, env)
+            joined = env.copy()
+            for case in stmt.cases:
+                case_env = env.copy()
+                for child in case.body:
+                    case_env = self.exec_stmt(child, case_env)
+                joined = joined.join(case_env)
+            return joined
+        return env  # pragma: no cover
+
+    def _apply_assignments(self, expr: Optional[ast.Expr], env: _Env) -> _Env:
+        if expr is None:
+            return env
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Assignment) and isinstance(node.target, ast.Identifier):
+                if node.op == "=":
+                    env.values[node.target.name] = self.eval(node.value, env)
+                else:
+                    env.values[node.target.name] = Interval.top()
+            elif isinstance(node, (ast.UnaryOp, ast.PostfixOp)) and getattr(node, "op", "") in ("++", "--"):
+                operand = node.operand
+                if isinstance(operand, ast.Identifier):
+                    env.values[operand.name] = Interval.top()
+        return env
+
+    def _havoc_assigned(self, stmt: ast.Stmt, env: _Env) -> None:
+        """Widen every variable the statement may modify to ⊤."""
+        for node in ast.walk(stmt):
+            target = None
+            if isinstance(node, ast.Assignment) and isinstance(node.target, ast.Identifier):
+                target = node.target.name
+            elif isinstance(node, (ast.UnaryOp, ast.PostfixOp)) and getattr(node, "op", "") in ("++", "--"):
+                if isinstance(node.operand, ast.Identifier):
+                    target = node.operand.name
+            if target is not None:
+                env.values[target] = Interval.top()
+
+    def _exec_for(self, stmt: ast.ForStmt, env: _Env) -> _Env:
+        induction = self._match_counting_loop(stmt, env)
+        body_env = env.copy()
+        if induction is not None:
+            name, interval = induction
+            body_env.values[name] = interval
+            # Widen everything else the body modifies.
+            saved = body_env.values.get(name)
+            self._havoc_assigned(stmt.body, body_env)
+            body_env.values[name] = saved
+        else:
+            if stmt.init is not None:
+                body_env = self.exec_stmt(stmt.init, body_env)
+            self._havoc_assigned(stmt.body, body_env)
+            if stmt.increment is not None:
+                self._havoc_assigned(ast.ExprStmt(stmt.increment, stmt.span), body_env)
+        self.scan_expr(stmt.condition, body_env)
+        self.exec_stmt(stmt.body, body_env)
+        if stmt.increment is not None:
+            self.scan_expr(stmt.increment, body_env)
+        # After the loop, the induction variable is out of scope (it was
+        # declared in the init) or unknown.
+        return env
+
+    def _match_counting_loop(self, stmt: ast.ForStmt, env: _Env) -> Optional[Tuple[str, Interval]]:
+        """Match ``for (int i = A; i </<= B; ++i / i += c)`` patterns."""
+        if not isinstance(stmt.init, ast.DeclStmt) or len(stmt.init.decls) != 1:
+            return None
+        decl = stmt.init.decls[0]
+        if decl.init is None:
+            return None
+        start = self.eval(decl.init, env)
+        if start.is_top:
+            return None
+        name = decl.name
+
+        condition = stmt.condition
+        if not isinstance(condition, ast.BinaryOp) or condition.op not in ("<", "<="):
+            return None
+        if not (isinstance(condition.left, ast.Identifier) and condition.left.name == name):
+            return None
+        bound = self.eval(condition.right, env)
+        if bound.is_top:
+            return None
+        upper = bound.hi if condition.op == "<=" else bound.hi - 1
+
+        increment = stmt.increment
+        ascending = False
+        if isinstance(increment, (ast.UnaryOp, ast.PostfixOp)) and increment.op == "++":
+            operand = increment.operand
+            ascending = isinstance(operand, ast.Identifier) and operand.name == name
+        elif isinstance(increment, ast.Assignment) and increment.op == "+=":
+            if isinstance(increment.target, ast.Identifier) and increment.target.name == name:
+                step = self.eval(increment.value, env)
+                ascending = not step.is_top and step.lo >= 1
+        if not ascending:
+            return None
+        return name, Interval(start.lo, max(start.lo, upper))
+
+
+def analyze_get_bounds(function: ast.FunctionDef, overlap: int,
+                       accessor_name: str = "get") -> BoundsProof:
+    """Try to prove all ``get`` offsets of ``function`` lie in [-d, d]."""
+    analyzer = _Analyzer(accessor_name)
+    env = _Env()
+    if function.body is not None:
+        analyzer.exec_stmt(function.body, env)
+    if not analyzer.accesses:
+        return BoundsProof(True, [], "no get() accesses")
+    for offsets in analyzer.accesses:
+        for interval in offsets:
+            if not interval.within(-overlap, overlap):
+                return BoundsProof(
+                    False,
+                    analyzer.accesses,
+                    f"offset interval [{interval.lo}, {interval.hi}] may exceed ±{overlap}",
+                )
+    return BoundsProof(True, analyzer.accesses, "all offsets within range")

@@ -1,0 +1,81 @@
+"""Compiler diagnostics: errors and warnings with source spans.
+
+The front-end collects diagnostics into a :class:`DiagnosticSink` instead
+of raising on first error, so a single compile reports every problem.
+``CompileError`` is raised at phase boundaries when the sink holds errors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .source import SourceFile, Span
+
+
+class Severity(enum.Enum):
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    severity: Severity
+    message: str
+    span: Optional[Span] = None
+
+    def render(self, source: Optional[SourceFile] = None) -> str:
+        where = ""
+        if self.span is not None:
+            name = source.name if source is not None else "<kernel>"
+            where = f"{name}:{self.span.start}: "
+        text = f"{where}{self.severity.value}: {self.message}"
+        if source is not None and self.span is not None and self.span.start.line > 0:
+            text += "\n" + source.snippet(self.span)
+        return text
+
+
+class CompileError(Exception):
+    """Raised when a front-end phase finishes with errors."""
+
+    def __init__(self, diagnostics: List[Diagnostic], source: Optional[SourceFile] = None):
+        self.diagnostics = diagnostics
+        self.source = source
+        rendered = "\n".join(d.render(source) for d in diagnostics)
+        super().__init__(rendered or "compilation failed")
+
+
+@dataclass
+class DiagnosticSink:
+    """Accumulates diagnostics during a front-end phase."""
+
+    source: Optional[SourceFile] = None
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def error(self, message: str, span: Optional[Span] = None) -> None:
+        self.diagnostics.append(Diagnostic(Severity.ERROR, message, span))
+
+    def warning(self, message: str, span: Optional[Span] = None) -> None:
+        self.diagnostics.append(Diagnostic(Severity.WARNING, message, span))
+
+    def note(self, message: str, span: Optional[Span] = None) -> None:
+        self.diagnostics.append(Diagnostic(Severity.NOTE, message, span))
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def check(self) -> None:
+        """Raise :class:`CompileError` if any errors were recorded."""
+        if self.has_errors:
+            raise CompileError(self.errors, self.source)

@@ -1,0 +1,40 @@
+"""Front-end driver: preprocess → lex → parse → type-check.
+
+:func:`compile_source` is the single entry point used by the simulated
+OpenCL runtime's ``Program.build()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from . import ast
+from .diagnostics import DiagnosticSink
+from .lexer import Lexer
+from .parser import Parser
+from .preprocessor import Preprocessor
+from .source import SourceFile
+from .typecheck import TypeChecker
+
+
+def compile_source(
+    text: str,
+    name: str = "<kernel>",
+    defines: Optional[Dict[str, str]] = None,
+) -> ast.Program:
+    """Run the full front-end over ``text``.
+
+    Returns a type-checked :class:`~repro.kernelc.ast.Program`.  Raises
+    :class:`~repro.kernelc.preprocessor.PreprocessorError` or
+    :class:`~repro.kernelc.diagnostics.CompileError` on invalid input.
+    """
+    preprocessed = Preprocessor(defines).process(text, name)
+    source = SourceFile(preprocessed, name)
+    sink = DiagnosticSink(source)
+    tokens = Lexer(source, sink).tokenize()
+    sink.check()
+    program = Parser(tokens, source, sink).parse_program()
+    checker = TypeChecker(program, source, sink)
+    checker.check()
+    program.source = source
+    return program

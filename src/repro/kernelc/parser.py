@@ -1,0 +1,702 @@
+"""Recursive-descent parser for the OpenCL-C subset.
+
+Grammar highlights (close to C99 with OpenCL qualifiers):
+
+* top level: function definitions, prototypes (accepted, recorded for
+  signature checking) and ``__constant`` global declarations;
+* declarations with address-space qualifiers (``__global float*``),
+  ``const``, multi-declarator lists and fixed-size (multi-dimensional)
+  arrays;
+* the full C expression grammar minus: compound literals, ``goto`` and
+  labels, variadic functions, bit-fields and structs/unions;
+* OpenCL vector literals ``(float4)(a, b, 0.0f, 1.0f)``.
+
+Binary expressions are parsed with precedence climbing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .ctypes_ import (
+    ArrayType,
+    CType,
+    PointerType,
+    SCALAR_TYPES,
+    VectorType,
+    make_vector_type,
+)
+from .diagnostics import CompileError, DiagnosticSink
+from .source import SourceFile, Span
+from .tokens import Token, TokenKind
+
+# Binary operator precedence (higher binds tighter), C table.
+_BINARY_PRECEDENCE = {
+    "*": 13, "/": 13, "%": 13,
+    "+": 12, "-": 12,
+    "<<": 11, ">>": 11,
+    "<": 10, ">": 10, "<=": 10, ">=": 10,
+    "==": 9, "!=": 9,
+    "&": 8,
+    "^": 7,
+    "|": 6,
+    "&&": 5,
+    "||": 4,
+}
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=")
+
+_ADDRESS_SPACE_KEYWORDS = {
+    "__global": "global", "global": "global",
+    "__local": "local", "local": "local",
+    "__constant": "constant", "constant": "constant",
+    "__private": "private", "private": "private",
+}
+
+_TYPE_KEYWORDS = frozenset(
+    ["void", "bool", "char", "uchar", "short", "ushort", "int", "uint", "long",
+     "ulong", "float", "double", "half", "size_t", "ptrdiff_t", "signed", "unsigned"]
+)
+
+_IGNORED_QUALIFIERS = frozenset(["volatile", "restrict", "inline", "static"])
+
+
+class ParseError(CompileError):
+    pass
+
+
+class Parser:
+    def __init__(self, tokens: List[Token], source: SourceFile, sink: Optional[DiagnosticSink] = None):
+        self.tokens = tokens
+        self.source = source
+        self.sink = sink if sink is not None else DiagnosticSink(source)
+        self.pos = 0
+        # Names introduced by typedef-like constructs could go here; the
+        # subset has none, but vector types behave like builtin typedefs.
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if self.pos < len(self.tokens) - 1:
+            self.pos += 1
+        return token
+
+    def _at_eof(self) -> bool:
+        return self._peek().kind is TokenKind.EOF
+
+    def _fail(self, message: str, span: Optional[Span] = None) -> ParseError:
+        self.sink.error(message, span if span is not None else self._peek().span)
+        return ParseError(self.sink.errors, self.source)
+
+    def _expect_punct(self, punct: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(punct):
+            raise self._fail(f"expected {punct!r}, found {token!r}" if token.kind is TokenKind.EOF else f"expected {punct!r}, found {token.text!r}")
+        return self._advance()
+
+    def _accept_punct(self, punct: str) -> Optional[Token]:
+        if self._peek().is_punct(punct):
+            return self._advance()
+        return None
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise self._fail(f"expected identifier, found {token.text!r}")
+        return self._advance()
+
+    # -- type parsing -----------------------------------------------------
+
+    def _starts_type(self, ahead: int = 0) -> bool:
+        token = self._peek(ahead)
+        if token.kind is TokenKind.KEYWORD:
+            return (
+                token.text in _TYPE_KEYWORDS
+                or token.text in _ADDRESS_SPACE_KEYWORDS
+                or token.text in ("const", "volatile", "restrict", "struct")
+            )
+        if token.kind is TokenKind.IDENT:
+            return make_vector_type(token.text) is not None
+        return False
+
+    def _parse_specifiers(self) -> Tuple[CType, str, bool]:
+        """Parse declaration specifiers.
+
+        Returns ``(base_type, address_space, is_const)``.
+        """
+        address_space = "private"
+        is_const = False
+        signedness: Optional[str] = None
+        base_name: Optional[str] = None
+        long_count = 0
+        start = self._peek()
+
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.KEYWORD:
+                text = token.text
+                if text in _ADDRESS_SPACE_KEYWORDS:
+                    address_space = _ADDRESS_SPACE_KEYWORDS[text]
+                    self._advance()
+                    continue
+                if text == "const":
+                    is_const = True
+                    self._advance()
+                    continue
+                if text in _IGNORED_QUALIFIERS:
+                    self._advance()
+                    continue
+                if text in ("signed", "unsigned"):
+                    if signedness is not None:
+                        raise self._fail("duplicate signedness specifier")
+                    signedness = text
+                    self._advance()
+                    continue
+                if text == "long":
+                    long_count += 1
+                    self._advance()
+                    continue
+                if text in _TYPE_KEYWORDS:
+                    if base_name is not None:
+                        raise self._fail(f"two type names in declaration: {base_name!r} and {text!r}")
+                    base_name = text
+                    self._advance()
+                    continue
+                if text == "struct":
+                    raise self._fail("struct types are not supported in this OpenCL-C subset")
+                break
+            if token.kind is TokenKind.IDENT and base_name is None and long_count == 0 and signedness is None:
+                vector = make_vector_type(token.text)
+                if vector is not None:
+                    self._advance()
+                    return vector, address_space, is_const
+            break
+
+        if base_name is None and signedness is None and long_count == 0:
+            raise self._fail(f"expected a type, found {start.text!r}", start.span)
+
+        if long_count:
+            if base_name not in (None, "int"):
+                raise self._fail(f"'long {base_name}' is not supported")
+            base_name = "long"
+        if base_name is None:
+            base_name = "int"
+        if signedness == "unsigned":
+            unsigned_names = {"char": "uchar", "short": "ushort", "int": "uint", "long": "ulong"}
+            if base_name not in unsigned_names:
+                raise self._fail(f"'unsigned {base_name}' is not valid")
+            base_name = unsigned_names[base_name]
+        elif signedness == "signed" and base_name not in ("char", "short", "int", "long"):
+            raise self._fail(f"'signed {base_name}' is not valid")
+        if base_name == "ptrdiff_t":
+            base_name = "long"
+        return SCALAR_TYPES[base_name], address_space, is_const
+
+    def _parse_pointer_suffix(self, base: CType, address_space: str, is_const: bool) -> Tuple[CType, str, bool]:
+        """Apply ``*`` declarator parts: ``base * const * ...``."""
+        ctype = base
+        while self._accept_punct("*"):
+            ctype = PointerType(ctype, address_space, is_const)
+            # Qualifiers after '*' apply to the pointer itself; the subset
+            # accepts and ignores them (no pointer-to-pointer reassignment
+            # subtleties matter here).
+            address_space = "private"
+            is_const = False
+            while self._peek().is_keyword("const", "volatile", "restrict"):
+                self._advance()
+        return ctype, address_space, is_const
+
+    def _parse_type_name(self) -> CType:
+        """Parse a type-name as used in casts and sizeof."""
+        base, address_space, is_const = self._parse_specifiers()
+        ctype, _, _ = self._parse_pointer_suffix(base, address_space, is_const)
+        return ctype
+
+    def _parse_array_suffix(self, ctype: CType) -> CType:
+        """Parse trailing ``[N]`` dimensions onto ``ctype``."""
+        dims: List[int] = []
+        while self._accept_punct("["):
+            size_expr = self._parse_conditional()
+            self._expect_punct("]")
+            dims.append(self._eval_const_int(size_expr))
+        for dim in reversed(dims):
+            ctype = ArrayType(ctype, dim)
+        return ctype
+
+    def _eval_const_int(self, expr: ast.Expr) -> int:
+        """Fold a constant integer expression (array sizes, case labels)."""
+        value = self._try_eval_const(expr)
+        if value is None or isinstance(value, float):
+            raise self._fail("expected a constant integer expression", expr.span)
+        return value
+
+    def _try_eval_const(self, expr: ast.Expr):
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.CharLiteral):
+            return expr.value
+        if isinstance(expr, ast.FloatLiteral):
+            return expr.value
+        if isinstance(expr, ast.UnaryOp):
+            value = self._try_eval_const(expr.operand)
+            if value is None:
+                return None
+            ops = {"-": lambda v: -v, "+": lambda v: v, "~": lambda v: ~v, "!": lambda v: int(not v)}
+            return ops[expr.op](value) if expr.op in ops else None
+        if isinstance(expr, ast.BinaryOp):
+            left = self._try_eval_const(expr.left)
+            right = self._try_eval_const(expr.right)
+            if left is None or right is None:
+                return None
+            try:
+                return {
+                    "+": lambda a, b: a + b,
+                    "-": lambda a, b: a - b,
+                    "*": lambda a, b: a * b,
+                    "/": lambda a, b: a // b if isinstance(a, int) and isinstance(b, int) else a / b,
+                    "%": lambda a, b: a % b,
+                    "<<": lambda a, b: a << b,
+                    ">>": lambda a, b: a >> b,
+                    "&": lambda a, b: a & b,
+                    "|": lambda a, b: a | b,
+                    "^": lambda a, b: a ^ b,
+                }[expr.op](left, right)
+            except (KeyError, ZeroDivisionError, TypeError):
+                return None
+        if isinstance(expr, ast.Cast):
+            return self._try_eval_const(expr.operand)
+        return None
+
+    # -- top level --------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        functions: List[ast.FunctionDef] = []
+        globals_: List[ast.GlobalDecl] = []
+        prototypes: List[ast.FunctionDef] = []
+        while not self._at_eof():
+            item = self._parse_external_declaration()
+            if isinstance(item, ast.FunctionDef):
+                if item.body is None:
+                    prototypes.append(item)
+                else:
+                    functions.append(item)
+            elif isinstance(item, ast.GlobalDecl):
+                globals_.append(item)
+        self.sink.check()
+        program = ast.Program(functions, globals_)
+        program.prototypes = prototypes
+        return program
+
+    def _parse_external_declaration(self):
+        start = self._peek()
+        is_kernel = False
+        attributes: List[str] = []
+        while True:
+            token = self._peek()
+            if token.is_keyword("__kernel", "kernel"):
+                is_kernel = True
+                self._advance()
+            elif token.is_keyword("__attribute__"):
+                attributes.append(self._parse_attribute())
+            else:
+                break
+
+        base, address_space, is_const = self._parse_specifiers()
+        ctype, address_space, is_const = self._parse_pointer_suffix(base, address_space, is_const)
+        name_token = self._expect_ident()
+
+        if self._peek().is_punct("("):
+            return self._parse_function(ctype, name_token, is_kernel, tuple(attributes), start)
+
+        if is_kernel:
+            raise self._fail("__kernel qualifier on a non-function declaration", start.span)
+        return self._parse_global_decl(ctype, name_token, address_space, is_const, start)
+
+    def _parse_attribute(self) -> str:
+        self._advance()  # __attribute__
+        self._expect_punct("(")
+        self._expect_punct("(")
+        depth = 2
+        parts: List[str] = []
+        while depth > 0 and not self._at_eof():
+            token = self._advance()
+            if token.is_punct("("):
+                depth += 1
+            elif token.is_punct(")"):
+                depth -= 1
+                if depth == 0:
+                    break
+            if depth > 0:
+                parts.append(token.text)
+        return "".join(parts)
+
+    def _parse_function(self, return_type: CType, name_token: Token, is_kernel: bool,
+                        attributes: Tuple[str, ...], start: Token) -> ast.FunctionDef:
+        self._expect_punct("(")
+        params: List[ast.Param] = []
+        if not self._peek().is_punct(")"):
+            if self._peek().is_keyword("void") and self._peek(1).is_punct(")"):
+                self._advance()
+            else:
+                while True:
+                    params.append(self._parse_param())
+                    if not self._accept_punct(","):
+                        break
+        close = self._expect_punct(")")
+
+        if self._accept_punct(";"):
+            fn = ast.FunctionDef(name_token.text, return_type, params, None, start.span.merge(close.span), is_kernel, attributes)
+            return fn
+        body = self._parse_compound()
+        span = start.span.merge(body.span)
+        return ast.FunctionDef(name_token.text, return_type, params, body, span, is_kernel, attributes)
+
+    def _parse_param(self) -> ast.Param:
+        start = self._peek()
+        base, address_space, is_const = self._parse_specifiers()
+        ctype, address_space, is_const = self._parse_pointer_suffix(base, address_space, is_const)
+        name = ""
+        end_span = start.span
+        if self._peek().kind is TokenKind.IDENT:
+            name_token = self._advance()
+            name = name_token.text
+            end_span = name_token.span
+        # Array parameters decay to pointers.
+        if self._peek().is_punct("["):
+            array_type = self._parse_array_suffix(ctype)
+            while isinstance(array_type, ArrayType):
+                array_type = array_type.element
+            ctype = PointerType(array_type, address_space if address_space != "private" else "private", is_const)
+        return ast.Param(name, ctype, start.span.merge(end_span))
+
+    def _parse_global_decl(self, ctype: CType, name_token: Token, address_space: str,
+                           is_const: bool, start: Token) -> ast.GlobalDecl:
+        if address_space != "constant":
+            raise self._fail("file-scope variables must be __constant", start.span)
+        ctype = self._parse_array_suffix(ctype)
+        init: Optional[ast.Expr] = None
+        if self._accept_punct("="):
+            init = self._parse_initializer()
+        end = self._expect_punct(";")
+        decl = ast.VarDecl(name_token.text, ctype, init, start.span.merge(end.span), address_space, True)
+        return ast.GlobalDecl(decl, decl.span)
+
+    def _parse_initializer(self) -> ast.Expr:
+        if self._peek().is_punct("{"):
+            start = self._advance()
+            elements: List[ast.Expr] = []
+            if not self._peek().is_punct("}"):
+                while True:
+                    elements.append(self._parse_initializer())
+                    if not self._accept_punct(","):
+                        break
+                    if self._peek().is_punct("}"):
+                        break  # trailing comma
+            end = self._expect_punct("}")
+            lit = ast.VectorLiteral(None, elements, start.span.merge(end.span))
+            lit.is_array_initializer = True
+            return lit
+        return self._parse_assignment()
+
+    # -- statements -------------------------------------------------------
+
+    def _parse_compound(self) -> ast.CompoundStmt:
+        start = self._expect_punct("{")
+        statements: List[ast.Stmt] = []
+        while not self._peek().is_punct("}") and not self._at_eof():
+            statements.append(self._parse_statement())
+        end = self._expect_punct("}")
+        return ast.CompoundStmt(statements, start.span.merge(end.span))
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.is_punct("{"):
+            return self._parse_compound()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("do"):
+            return self._parse_do()
+        if token.is_keyword("switch"):
+            return self._parse_switch()
+        if token.is_keyword("return"):
+            self._advance()
+            value = None if self._peek().is_punct(";") else self._parse_expression()
+            end = self._expect_punct(";")
+            return ast.ReturnStmt(value, token.span.merge(end.span))
+        if token.is_keyword("break"):
+            self._advance()
+            end = self._expect_punct(";")
+            return ast.BreakStmt(token.span.merge(end.span))
+        if token.is_keyword("continue"):
+            self._advance()
+            end = self._expect_punct(";")
+            return ast.ContinueStmt(token.span.merge(end.span))
+        if token.is_keyword("goto"):
+            raise self._fail("goto is not supported")
+        if token.is_punct(";"):
+            self._advance()
+            return ast.ExprStmt(None, token.span)
+        if self._starts_type():
+            return self._parse_declaration_statement()
+        expr = self._parse_expression()
+        end = self._expect_punct(";")
+        return ast.ExprStmt(expr, token.span.merge(end.span))
+
+    def _parse_declaration_statement(self) -> ast.DeclStmt:
+        start = self._peek()
+        base, address_space, is_const = self._parse_specifiers()
+        decls: List[ast.VarDecl] = []
+        while True:
+            ctype, _, _ = self._parse_pointer_suffix(base, address_space, is_const)
+            name_token = self._expect_ident()
+            ctype = self._parse_array_suffix(ctype)
+            init: Optional[ast.Expr] = None
+            if self._accept_punct("="):
+                init = self._parse_initializer()
+            decls.append(ast.VarDecl(name_token.text, ctype, init, start.span.merge(name_token.span), address_space, is_const))
+            if not self._accept_punct(","):
+                break
+        end = self._expect_punct(";")
+        return ast.DeclStmt(decls, start.span.merge(end.span))
+
+    def _parse_if(self) -> ast.IfStmt:
+        start = self._advance()
+        self._expect_punct("(")
+        condition = self._parse_expression()
+        self._expect_punct(")")
+        then_branch = self._parse_statement()
+        else_branch = None
+        if self._peek().is_keyword("else"):
+            self._advance()
+            else_branch = self._parse_statement()
+        end_span = (else_branch or then_branch).span
+        return ast.IfStmt(condition, then_branch, else_branch, start.span.merge(end_span))
+
+    def _parse_for(self) -> ast.ForStmt:
+        start = self._advance()
+        self._expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if self._accept_punct(";"):
+            init = None
+        elif self._starts_type():
+            init = self._parse_declaration_statement()
+        else:
+            expr = self._parse_expression()
+            self._expect_punct(";")
+            init = ast.ExprStmt(expr, expr.span)
+        condition = None if self._peek().is_punct(";") else self._parse_expression()
+        self._expect_punct(";")
+        increment = None if self._peek().is_punct(")") else self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.ForStmt(init, condition, increment, body, start.span.merge(body.span))
+
+    def _parse_while(self) -> ast.WhileStmt:
+        start = self._advance()
+        self._expect_punct("(")
+        condition = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.WhileStmt(condition, body, start.span.merge(body.span))
+
+    def _parse_do(self) -> ast.DoStmt:
+        start = self._advance()
+        body = self._parse_statement()
+        if not self._peek().is_keyword("while"):
+            raise self._fail("expected 'while' after do-statement body")
+        self._advance()
+        self._expect_punct("(")
+        condition = self._parse_expression()
+        self._expect_punct(")")
+        end = self._expect_punct(";")
+        return ast.DoStmt(body, condition, start.span.merge(end.span))
+
+    def _parse_switch(self) -> ast.SwitchStmt:
+        start = self._advance()
+        self._expect_punct("(")
+        subject = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: List[ast.SwitchCase] = []
+        while not self._peek().is_punct("}") and not self._at_eof():
+            label_start = self._peek()
+            if label_start.is_keyword("case"):
+                self._advance()
+                value = self._parse_conditional()
+                self._expect_punct(":")
+            elif label_start.is_keyword("default"):
+                self._advance()
+                self._expect_punct(":")
+                value = None
+            else:
+                raise self._fail("expected 'case' or 'default' label in switch body")
+            body: List[ast.Stmt] = []
+            while not self._peek().is_punct("}") and not self._peek().is_keyword("case", "default"):
+                body.append(self._parse_statement())
+            cases.append(ast.SwitchCase(value, body, label_start.span))
+        end = self._expect_punct("}")
+        return ast.SwitchStmt(subject, cases, start.span.merge(end.span))
+
+    # -- expressions ------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        expr = self._parse_assignment()
+        if self._peek().is_punct(","):
+            parts = [expr]
+            while self._accept_punct(","):
+                parts.append(self._parse_assignment())
+            return ast.CommaExpr(parts, parts[0].span.merge(parts[-1].span))
+        return expr
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assignment(token.text, left, value, left.span.merge(value.span))
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        condition = self._parse_binary(0)
+        if self._accept_punct("?"):
+            then_expr = self._parse_expression()
+            self._expect_punct(":")
+            else_expr = self._parse_conditional()
+            return ast.Conditional(condition, then_expr, else_expr, condition.span.merge(else_expr.span))
+        return condition
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind is not TokenKind.PUNCT:
+                return left
+            precedence = _BINARY_PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.BinaryOp(token.text, left, right, left.span.merge(right.span))
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_punct("+", "-", "!", "~", "*", "&"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(token.text, operand, token.span.merge(operand.span))
+        if token.is_punct("++", "--"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(token.text, operand, token.span.merge(operand.span))
+        if token.is_keyword("sizeof"):
+            return self._parse_sizeof()
+        if token.is_punct("(") and self._starts_type(1):
+            return self._parse_cast()
+        return self._parse_postfix()
+
+    def _parse_sizeof(self) -> ast.Expr:
+        start = self._advance()
+        if self._peek().is_punct("(") and self._starts_type(1):
+            self._advance()
+            queried = self._parse_type_name()
+            end = self._expect_punct(")")
+            return ast.SizeofExpr(queried, None, start.span.merge(end.span))
+        operand = self._parse_unary()
+        return ast.SizeofExpr(None, operand, start.span.merge(operand.span))
+
+    def _parse_cast(self) -> ast.Expr:
+        start = self._expect_punct("(")
+        target = self._parse_type_name()
+        self._expect_punct(")")
+        if isinstance(target, VectorType) and self._peek().is_punct("("):
+            open_paren = self._advance()
+            elements: List[ast.Expr] = []
+            if not self._peek().is_punct(")"):
+                while True:
+                    elements.append(self._parse_assignment())
+                    if not self._accept_punct(","):
+                        break
+            end = self._expect_punct(")")
+            return ast.VectorLiteral(target, elements, start.span.merge(end.span))
+        operand = self._parse_unary()
+        return ast.Cast(target, operand, start.span.merge(operand.span))
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.is_punct("["):
+                self._advance()
+                index = self._parse_expression()
+                end = self._expect_punct("]")
+                expr = ast.Index(expr, index, expr.span.merge(end.span))
+            elif token.is_punct("."):
+                self._advance()
+                member = self._expect_ident()
+                expr = ast.Member(expr, member.text, expr.span.merge(member.span))
+            elif token.is_punct("->"):
+                raise self._fail("'->' is not supported (no struct types)")
+            elif token.is_punct("++", "--"):
+                self._advance()
+                expr = ast.PostfixOp(token.text, expr, expr.span.merge(token.span))
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT_LITERAL:
+            self._advance()
+            return ast.IntLiteral(token.value, token.span, token.suffix)
+        if token.kind is TokenKind.FLOAT_LITERAL:
+            self._advance()
+            return ast.FloatLiteral(token.value, token.span, token.suffix)
+        if token.kind is TokenKind.CHAR_LITERAL:
+            self._advance()
+            return ast.CharLiteral(token.value, token.span)
+        if token.kind is TokenKind.STRING_LITERAL:
+            self._advance()
+            return ast.StringLiteral(token.value, token.span)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._peek().is_punct("("):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._peek().is_punct(")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._accept_punct(","):
+                            break
+                end = self._expect_punct(")")
+                return ast.Call(token.text, args, token.span.merge(end.span))
+            return ast.Identifier(token.text, token.span)
+        if token.kind is TokenKind.KEYWORD and token.text in ("barrier",):  # pragma: no cover
+            raise self._fail("unexpected keyword")
+        if token.is_punct("("):
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        raise self._fail(f"expected an expression, found {token.text!r}" if token.kind is not TokenKind.EOF else "unexpected end of input")
+
+
+def parse(text: str, name: str = "<kernel>") -> ast.Program:
+    """Lex and parse ``text`` into a :class:`Program` (no preprocessing)."""
+    from .lexer import Lexer
+
+    source = SourceFile(text, name)
+    sink = DiagnosticSink(source)
+    tokens = Lexer(source, sink).tokenize()
+    sink.check()
+    parser = Parser(tokens, source, sink)
+    return parser.parse_program()

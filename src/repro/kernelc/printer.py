@@ -1,0 +1,298 @@
+"""OpenCL-C pretty-printer for kernelc ASTs.
+
+Renders a parsed (not necessarily type-checked) program back to
+compilable source.  Used for debugging generated kernels and for the
+parse→print→parse round-trip property tests that pin down the parser.
+
+The printer is precedence-aware: it emits the minimal parentheses that
+preserve the tree shape, so ``print(parse(print(ast)))`` is structurally
+idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+from .ctypes_ import ArrayType, CType, PointerType, ScalarType, VectorType
+
+# Expression precedence levels (higher binds tighter), mirroring the
+# parser's table with unary/postfix levels on top.
+_BINARY_PRECEDENCE = {
+    "*": 13, "/": 13, "%": 13,
+    "+": 12, "-": 12,
+    "<<": 11, ">>": 11,
+    "<": 10, ">": 10, "<=": 10, ">=": 10,
+    "==": 9, "!=": 9,
+    "&": 8, "^": 7, "|": 6,
+    "&&": 5, "||": 4,
+}
+_TERNARY_PRECEDENCE = 3
+_ASSIGN_PRECEDENCE = 2
+_COMMA_PRECEDENCE = 1
+_UNARY_PRECEDENCE = 14
+_POSTFIX_PRECEDENCE = 15
+
+
+def type_name(ctype: CType) -> str:
+    """The declaration-specifier spelling of a type (no declarator)."""
+    if isinstance(ctype, PointerType):
+        space = f"__{ctype.address_space} " if ctype.address_space != "private" else ""
+        const = "const " if ctype.is_const else ""
+        return f"{space}{const}{type_name(ctype.pointee)}*"
+    if isinstance(ctype, (ScalarType, VectorType)):
+        return ctype.name
+    if isinstance(ctype, ArrayType):
+        return type_name(ctype.element)  # dimensions print with the declarator
+    raise TypeError(f"cannot print type {ctype}")
+
+
+def _array_suffix(ctype: CType) -> str:
+    suffix = ""
+    while isinstance(ctype, ArrayType):
+        suffix += f"[{ctype.length}]"
+        ctype = ctype.element
+    return suffix
+
+
+class Printer:
+    def __init__(self, indent: str = "    "):
+        self.indent_text = indent
+        self.lines: List[str] = []
+        self.depth = 0
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self.lines.append(self.indent_text * self.depth + text)
+
+    def render(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    # -- program -------------------------------------------------------------
+
+    def print_program(self, program: ast.Program) -> str:
+        for global_decl in program.globals:
+            decl = global_decl.decl
+            init = f" = {self.initializer(decl.init)}" if decl.init is not None else ""
+            self._emit(
+                f"__constant {type_name(decl.declared_type)} {decl.name}"
+                f"{_array_suffix(decl.declared_type)}{init};"
+            )
+            self._emit("")
+        for function in program.functions:
+            self.print_function(function)
+            self._emit("")
+        return self.render()
+
+    def print_function(self, function: ast.FunctionDef) -> None:
+        kernel = "__kernel " if function.is_kernel else ""
+        params = ", ".join(
+            f"{type_name(p.declared_type)} {p.name}".rstrip() for p in function.params
+        )
+        self._emit(f"{kernel}{type_name(function.return_type)} {function.name}({params})")
+        if function.body is None:
+            self.lines[-1] += ";"
+            return
+        self.block(function.body)
+
+    # -- statements ------------------------------------------------------------
+
+    def block(self, stmt: ast.CompoundStmt) -> None:
+        self._emit("{")
+        self.depth += 1
+        for child in stmt.statements:
+            self.stmt(child)
+        self.depth -= 1
+        self._emit("}")
+
+    def _nested(self, stmt: ast.Stmt) -> None:
+        """A statement in a control-flow slot (brace compounds, indent others)."""
+        if isinstance(stmt, ast.CompoundStmt):
+            self.block(stmt)
+        else:
+            self.depth += 1
+            self.stmt(stmt)
+            self.depth -= 1
+
+    def stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.CompoundStmt):
+            self.block(stmt)
+        elif isinstance(stmt, ast.DeclStmt):
+            self._emit(self.declaration(stmt) + ";")
+        elif isinstance(stmt, ast.ExprStmt):
+            self._emit(";" if stmt.expr is None else self.expr(stmt.expr) + ";")
+        elif isinstance(stmt, ast.IfStmt):
+            self._emit(f"if ({self.expr(stmt.condition)})")
+            self._nested(stmt.then_branch)
+            if stmt.else_branch is not None:
+                self._emit("else")
+                self._nested(stmt.else_branch)
+        elif isinstance(stmt, ast.ForStmt):
+            init = ""
+            if isinstance(stmt.init, ast.DeclStmt):
+                init = self.declaration(stmt.init)
+            elif isinstance(stmt.init, ast.ExprStmt) and stmt.init.expr is not None:
+                init = self.expr(stmt.init.expr)
+            condition = self.expr(stmt.condition) if stmt.condition is not None else ""
+            increment = self.expr(stmt.increment) if stmt.increment is not None else ""
+            self._emit(f"for ({init}; {condition}; {increment})")
+            self._nested(stmt.body)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._emit(f"while ({self.expr(stmt.condition)})")
+            self._nested(stmt.body)
+        elif isinstance(stmt, ast.DoStmt):
+            self._emit("do")
+            self._nested(stmt.body)
+            self._emit(f"while ({self.expr(stmt.condition)});")
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                self._emit("return;")
+            else:
+                self._emit(f"return {self.expr(stmt.value)};")
+        elif isinstance(stmt, ast.BreakStmt):
+            self._emit("break;")
+        elif isinstance(stmt, ast.ContinueStmt):
+            self._emit("continue;")
+        elif isinstance(stmt, ast.SwitchStmt):
+            self._emit(f"switch ({self.expr(stmt.subject)})")
+            self._emit("{")
+            self.depth += 1
+            for case in stmt.cases:
+                if case.value is None:
+                    self._emit("default:")
+                else:
+                    self._emit(f"case {self.expr(case.value)}:")
+                self.depth += 1
+                for child in case.body:
+                    self.stmt(child)
+                self.depth -= 1
+            self.depth -= 1
+            self._emit("}")
+        else:  # pragma: no cover
+            raise TypeError(f"cannot print statement {type(stmt).__name__}")
+
+    def declaration(self, stmt: ast.DeclStmt) -> str:
+        first = stmt.decls[0]
+        # Single pointer declaration: print the full pointer type (which
+        # carries its own address-space spelling).
+        if len(stmt.decls) == 1 and isinstance(first.declared_type, PointerType):
+            init = f" = {self.initializer(first.init)}" if first.init is not None else ""
+            return f"{type_name(first.declared_type)} {first.name}{init}"
+
+        parts = []
+        space = {
+            "local": "__local ",
+            "constant": "__constant ",
+            "global": "__global ",
+            "private": "",
+        }[first.address_space]
+        const = "const " if first.is_const and not isinstance(first.declared_type, PointerType) else ""
+        for decl in stmt.decls:
+            name = f"{_pointer_stars(decl.declared_type)}{decl.name}{_array_suffix(decl.declared_type)}"
+            if decl.init is not None:
+                name += f" = {self.initializer(decl.init)}"
+            parts.append(name)
+        base = first.declared_type
+        while isinstance(base, (PointerType, ArrayType)):
+            base = base.pointee if isinstance(base, PointerType) else base.element
+        return f"{space}{const}{type_name(base)} {', '.join(parts)}"
+
+    def initializer(self, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.VectorLiteral) and expr.is_array_initializer:
+            inner = ", ".join(self.initializer(e) for e in expr.elements)
+            return "{ " + inner + " }"
+        return self.expr(expr, _ASSIGN_PRECEDENCE)
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr(self, expr: ast.Expr, parent_precedence: int = 0) -> str:
+        text, precedence = self._expr(expr)
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+
+    def _expr(self, expr: ast.Expr):
+        if isinstance(expr, ast.IntLiteral):
+            return f"{expr.value}{expr.suffix}", _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.FloatLiteral):
+            text = repr(expr.value)
+            if "e" not in text and "." not in text and "inf" not in text and "nan" not in text:
+                text += ".0"
+            return f"{text}{expr.suffix}", _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.CharLiteral):
+            ch = chr(expr.value)
+            if ch == "\\":
+                ch = "\\\\"
+            elif ch == "'":
+                ch = "\\'"
+            elif not ch.isprintable():
+                return str(expr.value), _POSTFIX_PRECEDENCE
+            return f"'{ch}'", _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.Identifier):
+            return expr.name, _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op in ("++", "--"):
+                operand = self.expr(expr.operand, _UNARY_PRECEDENCE)
+                return f"{expr.op}{operand}", _UNARY_PRECEDENCE
+            operand = self.expr(expr.operand, _UNARY_PRECEDENCE)
+            spacer = " " if expr.op in ("+", "-") and operand.startswith(expr.op) else ""
+            return f"{expr.op}{spacer}{operand}", _UNARY_PRECEDENCE
+        if isinstance(expr, ast.PostfixOp):
+            operand = self.expr(expr.operand, _POSTFIX_PRECEDENCE)
+            return f"{operand}{expr.op}", _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.BinaryOp):
+            precedence = _BINARY_PRECEDENCE[expr.op]
+            left = self.expr(expr.left, precedence)
+            # Left-associative: right child needs one level tighter.
+            right = self.expr(expr.right, precedence + 1)
+            return f"{left} {expr.op} {right}", precedence
+        if isinstance(expr, ast.Assignment):
+            target = self.expr(expr.target, _UNARY_PRECEDENCE)
+            value = self.expr(expr.value, _ASSIGN_PRECEDENCE)
+            return f"{target} {expr.op} {value}", _ASSIGN_PRECEDENCE
+        if isinstance(expr, ast.Conditional):
+            condition = self.expr(expr.condition, _TERNARY_PRECEDENCE + 1)
+            then_text = self.expr(expr.then_expr, _COMMA_PRECEDENCE + 1)
+            else_text = self.expr(expr.else_expr, _TERNARY_PRECEDENCE)
+            return f"{condition} ? {then_text} : {else_text}", _TERNARY_PRECEDENCE
+        if isinstance(expr, ast.Call):
+            args = ", ".join(self.expr(a, _ASSIGN_PRECEDENCE) for a in expr.args)
+            return f"{expr.callee}({args})", _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.Index):
+            base = self.expr(expr.base, _POSTFIX_PRECEDENCE)
+            return f"{base}[{self.expr(expr.index)}]", _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.Member):
+            base = self.expr(expr.base, _POSTFIX_PRECEDENCE)
+            return f"{base}.{expr.member}", _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.Cast):
+            operand = self.expr(expr.operand, _UNARY_PRECEDENCE)
+            return f"({type_name(expr.target_type)}){operand}", _UNARY_PRECEDENCE
+        if isinstance(expr, ast.VectorLiteral):
+            elements = ", ".join(self.expr(e, _ASSIGN_PRECEDENCE) for e in expr.elements)
+            return f"({type_name(expr.target_type)})({elements})", _UNARY_PRECEDENCE
+        if isinstance(expr, ast.SizeofExpr):
+            if expr.queried_type is not None:
+                return f"sizeof({type_name(expr.queried_type)})", _UNARY_PRECEDENCE
+            return f"sizeof {self.expr(expr.operand, _UNARY_PRECEDENCE)}", _UNARY_PRECEDENCE
+        if isinstance(expr, ast.CommaExpr):
+            parts = ", ".join(self.expr(p, _ASSIGN_PRECEDENCE) for p in expr.parts)
+            return parts, _COMMA_PRECEDENCE
+        raise TypeError(f"cannot print expression {type(expr).__name__}")  # pragma: no cover
+
+
+def _pointer_stars(ctype: CType) -> str:
+    stars = ""
+    while isinstance(ctype, PointerType):
+        stars += "*"
+        ctype = ctype.pointee
+    return stars
+
+
+def print_program(program: ast.Program) -> str:
+    """Render a program AST back to OpenCL-C source."""
+    return Printer().print_program(program)
+
+
+def print_expr(expr: ast.Expr) -> str:
+    return Printer().expr(expr)

@@ -1,0 +1,89 @@
+"""Source text handling: locations, spans and snippet extraction.
+
+Every token and AST node produced by the kernelc front-end carries a
+:class:`Span` pointing back into the original OpenCL-C source string so
+that diagnostics can show precise carets, exactly like a real compiler.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Location:
+    """A point in a source file (1-based line and column)."""
+
+    line: int
+    column: int
+    offset: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open range ``[start, end)`` of source offsets."""
+
+    start: Location
+    end: Location
+
+    def __str__(self) -> str:
+        return str(self.start)
+
+    def merge(self, other: "Span") -> "Span":
+        """Smallest span covering both ``self`` and ``other``."""
+        start = min(self.start, other.start, key=lambda l: l.offset)
+        end = max(self.end, other.end, key=lambda l: l.offset)
+        return Span(start, end)
+
+
+# A span used for synthesized nodes that have no source counterpart.
+BUILTIN_LOCATION = Location(0, 0, 0)
+BUILTIN_SPAN = Span(BUILTIN_LOCATION, BUILTIN_LOCATION)
+
+
+class SourceFile:
+    """A named source string with fast offset → line/column mapping."""
+
+    def __init__(self, text: str, name: str = "<kernel>"):
+        self.text = text
+        self.name = name
+        self._line_starts = [0]
+        for i, ch in enumerate(text):
+            if ch == "\n":
+                self._line_starts.append(i + 1)
+
+    def location(self, offset: int) -> Location:
+        """Map a character offset to a 1-based :class:`Location`."""
+        offset = max(0, min(offset, len(self.text)))
+        line_index = bisect.bisect_right(self._line_starts, offset) - 1
+        column = offset - self._line_starts[line_index] + 1
+        return Location(line_index + 1, column, offset)
+
+    def span(self, start_offset: int, end_offset: int) -> Span:
+        return Span(self.location(start_offset), self.location(end_offset))
+
+    def line_text(self, line: int) -> str:
+        """Return the text of a 1-based line, without its newline."""
+        if line < 1 or line > len(self._line_starts):
+            return ""
+        start = self._line_starts[line - 1]
+        end = self.text.find("\n", start)
+        if end == -1:
+            end = len(self.text)
+        return self.text[start:end]
+
+    def snippet(self, span: Span) -> str:
+        """Render a caret-annotated snippet for ``span``."""
+        line = span.start.line
+        text = self.line_text(line)
+        caret_start = max(span.start.column - 1, 0)
+        if span.end.line == line:
+            width = max(span.end.column - span.start.column, 1)
+        else:
+            width = max(len(text) - caret_start, 1)
+        pointer = " " * caret_start + "^" * width
+        return f"{text}\n{pointer}"

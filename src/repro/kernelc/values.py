@@ -1,0 +1,87 @@
+"""Runtime value representation shared by the interpreter and compiler.
+
+Scalars are plain Python ``int``/``float`` (converted to C semantics at
+casts and stores).  Vectors are :class:`VecValue`.  Pointers are
+:class:`~repro.kernelc.memory.Pointer`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .ctypes_ import ScalarType, VectorType, convert_scalar
+
+_COMPONENT_LETTERS = {"x": 0, "y": 1, "z": 2, "w": 3}
+
+
+class VecValue:
+    """An OpenCL vector value: fixed width, typed elements."""
+
+    __slots__ = ("element_type", "components")
+
+    def __init__(self, element_type: ScalarType, components: Sequence):
+        self.element_type = element_type
+        self.components = [convert_scalar(c, element_type) for c in components]
+
+    @property
+    def width(self) -> int:
+        return len(self.components)
+
+    def ctype(self) -> VectorType:
+        return VectorType(self.element_type, self.width)
+
+    def map(self, func) -> "VecValue":
+        return VecValue(self.element_type, [func(c) for c in self.components])
+
+    def zip_with(self, other, func) -> "VecValue":
+        if isinstance(other, VecValue):
+            if other.width != self.width:
+                raise ValueError("vector width mismatch")
+            pairs = zip(self.components, other.components)
+        else:
+            pairs = ((c, other) for c in self.components)
+        return VecValue(self.element_type, [func(a, b) for a, b in pairs])
+
+    def __iter__(self):
+        return iter(self.components)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, VecValue)
+            and self.element_type == other.element_type
+            and self.components == other.components
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.components)
+        return f"({self.element_type.name}{self.width})({inner})"
+
+
+def component_indices(member: str, width: int) -> List[int]:
+    """Decode a vector component selector into element indices.
+
+    Supports ``.x/.y/.z/.w`` swizzles (``.xyz``, ``.wzyx`` ...), numeric
+    selectors ``.s0``–``.sF``, and ``.lo``/``.hi``/``.even``/``.odd``.
+    Raises ``ValueError`` for selectors invalid at this width.
+    """
+    if member in ("lo", "hi", "even", "odd"):
+        if width % 2 != 0:
+            raise ValueError(f"'.{member}' requires an even vector width, got {width}")
+        if member == "lo":
+            return list(range(0, width // 2))
+        if member == "hi":
+            return list(range(width // 2, width))
+        if member == "even":
+            return list(range(0, width, 2))
+        return list(range(1, width, 2))
+    if member.startswith("s") and len(member) > 1 and all(c in "0123456789abcdefABCDEF" for c in member[1:]):
+        indices = [int(c, 16) for c in member[1:]]
+    else:
+        try:
+            indices = [_COMPONENT_LETTERS[c] for c in member]
+        except KeyError:
+            raise ValueError(f"invalid vector component selector '.{member}'") from None
+    for index in indices:
+        if index >= width:
+            raise ValueError(f"component selector '.{member}' out of range for width {width}")
+    return indices

@@ -1,0 +1,102 @@
+"""Lines-of-code accounting for the programming-effort comparison.
+
+The paper's Fig. 4 and the §3.3/§4.2 discussions compare *lines of code*
+between CUDA, OpenCL and SkelCL versions of the same program.  This
+module implements the counting rule (non-blank lines, comments ignored —
+both full-line and trailing block/line comments are stripped first) and
+loads the reference sources shipped in
+``repro/baselines/reference_sources/``.
+
+Each reference source marks its kernel portion with
+``// LOC: kernel begin`` / ``// LOC: kernel end`` guards so the
+kernel/host split of Fig. 4 can be reported; guard lines themselves are
+never counted.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict
+
+REFERENCE_DIR = Path(__file__).parent / "baselines" / "reference_sources"
+
+_BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+_LINE_COMMENT = re.compile(r"//[^\n]*")
+_KERNEL_BEGIN = "LOC: kernel begin"
+_KERNEL_END = "LOC: kernel end"
+
+
+@dataclass(frozen=True)
+class LocCount:
+    total: int
+    kernel: int
+    host: int
+
+    def __str__(self) -> str:
+        return f"{self.total} LoC (kernel: {self.kernel}, host: {self.host})"
+
+
+def strip_comments(source: str) -> str:
+    """Remove block and line comments, preserving line structure."""
+    def blank_block(match: re.Match) -> str:
+        return "\n" * match.group(0).count("\n")
+
+    without_blocks = _BLOCK_COMMENT.sub(blank_block, source)
+    return _LINE_COMMENT.sub("", without_blocks)
+
+
+def count_loc(source: str) -> LocCount:
+    """Count non-blank, non-comment lines; split at the kernel guards."""
+    kernel_lines = 0
+    host_lines = 0
+    in_kernel = False
+    # Find guard line numbers BEFORE stripping comments (the guards are
+    # comments themselves).
+    guard_state = []
+    state = False
+    for line in source.split("\n"):
+        if _KERNEL_BEGIN in line:
+            state = True
+            guard_state.append(None)  # guard line: not counted
+            continue
+        if _KERNEL_END in line:
+            state = False
+            guard_state.append(None)
+            continue
+        guard_state.append(state)
+
+    stripped = strip_comments(source).split("\n")
+    for flag, line in zip(guard_state, stripped):
+        if flag is None or not line.strip():
+            continue
+        if flag:
+            kernel_lines += 1
+        else:
+            host_lines += 1
+    return LocCount(kernel_lines + host_lines, kernel_lines, host_lines)
+
+
+def count_file(path: Path) -> LocCount:
+    return count_loc(Path(path).read_text())
+
+
+def count_reference(name: str) -> LocCount:
+    """Count a source from the reference_sources directory."""
+    path = REFERENCE_DIR / name
+    if not path.exists():
+        raise FileNotFoundError(f"no reference source named {name!r} in {REFERENCE_DIR}")
+    return count_file(path)
+
+
+def reference_sources() -> Dict[str, Path]:
+    return {p.name: p for p in sorted(REFERENCE_DIR.iterdir()) if p.is_file()}
+
+
+def combined(*counts: LocCount) -> LocCount:
+    return LocCount(
+        sum(c.total for c in counts),
+        sum(c.kernel for c in counts),
+        sum(c.host for c in counts),
+    )

@@ -1,0 +1,72 @@
+"""Contexts: a set of devices with their queues, buffers and programs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from .buffer import Buffer
+from .device import Device, Platform
+from .errors import InvalidValue
+from .program import Program
+from .queue import CommandQueue
+from .spec import DeviceSpec
+
+
+class Context:
+    def __init__(self, devices: Union[Platform, Sequence[Device]]):
+        if isinstance(devices, Platform):
+            self.devices: List[Device] = list(devices.devices)
+        else:
+            self.devices = list(devices)
+        if not self.devices:
+            raise InvalidValue("a context needs at least one device")
+        self.queues: List[CommandQueue] = [CommandQueue(device) for device in self.devices]
+        self._buffers: List[Buffer] = []
+
+    @staticmethod
+    def create(spec: DeviceSpec, num_devices: int = 1) -> "Context":
+        return Context(Platform(spec, num_devices))
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def queue_for(self, device: Device) -> CommandQueue:
+        for queue, candidate in zip(self.queues, self.devices):
+            if candidate is device:
+                return queue
+        raise InvalidValue(f"device {device.name} is not part of this context")
+
+    def create_buffer(self, nbytes: int, device: Optional[Device] = None, name: str = "") -> Buffer:
+        target = device if device is not None else self.devices[0]
+        buffer = Buffer(target, nbytes, name)
+        self._buffers.append(buffer)
+        return buffer
+
+    def create_program(self, source: str, name: str = "<kernel>",
+                       defines: Optional[Dict[str, str]] = None) -> Program:
+        return Program(source, name, defines)
+
+    # -- simulated wall-clock ---------------------------------------------
+
+    def elapsed_ns(self) -> int:
+        """Simulated wall-clock: devices run concurrently, so the elapsed
+        time is the maximum over all queue timelines."""
+        return max(queue.time_ns for queue in self.queues)
+
+    def reset_timelines(self) -> None:
+        for queue in self.queues:
+            queue.reset_timeline()
+
+    def finish_all(self) -> int:
+        for queue in self.queues:
+            queue.finish()
+        return self.elapsed_ns()
+
+    def release(self) -> None:
+        for buffer in self._buffers:
+            buffer.release()
+        self._buffers.clear()
+
+    def __repr__(self) -> str:
+        return f"<Context devices={[d.name for d in self.devices]}>"

@@ -1,0 +1,60 @@
+"""Simulated compute devices."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import OutOfResources
+from .spec import DeviceSpec
+
+
+class Device:
+    """One simulated GPU: a spec plus allocation bookkeeping."""
+
+    def __init__(self, spec: DeviceSpec, index: int = 0):
+        self.spec = spec
+        self.index = index
+        self.allocated_bytes = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name} #{self.index}"
+
+    @property
+    def global_mem_size(self) -> int:
+        return self.spec.global_mem_bytes
+
+    @property
+    def local_mem_size(self) -> int:
+        return self.spec.local_mem_bytes
+
+    @property
+    def max_work_group_size(self) -> int:
+        return self.spec.max_work_group_size
+
+    def allocate(self, nbytes: int) -> None:
+        if self.allocated_bytes + nbytes > self.spec.global_mem_bytes:
+            raise OutOfResources(
+                f"{self.name}: allocating {nbytes} bytes exceeds device memory "
+                f"({self.allocated_bytes} of {self.spec.global_mem_bytes} in use)"
+            )
+        self.allocated_bytes += nbytes
+
+    def free(self, nbytes: int) -> None:
+        self.allocated_bytes = max(0, self.allocated_bytes - nbytes)
+
+    def __repr__(self) -> str:
+        return f"<Device {self.name}>"
+
+
+class Platform:
+    """A simulated OpenCL platform: N identical devices."""
+
+    def __init__(self, spec: DeviceSpec, num_devices: int = 1, name: Optional[str] = None):
+        if num_devices < 1:
+            raise ValueError("a platform needs at least one device")
+        self.name = name if name is not None else f"Simulated platform ({spec.name})"
+        self.devices = [Device(spec, index) for index in range(num_devices)]
+
+    def __repr__(self) -> str:
+        return f"<Platform {self.name!r} devices={len(self.devices)}>"

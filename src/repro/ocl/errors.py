@@ -1,0 +1,31 @@
+"""Error types of the simulated OpenCL runtime, mirroring CL error codes."""
+
+from __future__ import annotations
+
+
+class OclError(Exception):
+    """Base class for all simulated-OpenCL errors."""
+
+
+class BuildError(OclError):
+    """Program compilation failed; carries the build log."""
+
+    def __init__(self, log: str):
+        self.log = log
+        super().__init__(f"program build failed:\n{log}")
+
+
+class InvalidKernelArgs(OclError):
+    pass
+
+
+class InvalidWorkGroupSize(OclError):
+    pass
+
+
+class OutOfResources(OclError):
+    pass
+
+
+class InvalidValue(OclError):
+    pass

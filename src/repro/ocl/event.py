@@ -1,0 +1,38 @@
+"""Events with profiling information (simulated nanoseconds).
+
+Mirrors the OpenCL profiling API the paper uses for Fig. 5: an event
+records when a command was queued, submitted, started and finished on
+its device's simulated timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Event:
+    command_type: str  # 'ndrange_kernel', 'write_buffer', 'read_buffer', 'copy_buffer'
+    name: str
+    queued_ns: int = 0
+    submit_ns: int = 0
+    start_ns: int = 0
+    end_ns: int = 0
+    # Free-form statistics (ops, memory traffic, groups executed...).
+    info: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_us(self) -> float:
+        return self.duration_ns / 1e3
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    def __repr__(self) -> str:
+        return f"<Event {self.command_type} {self.name!r} {self.duration_ms:.4f} ms>"

@@ -1,0 +1,143 @@
+"""NDRange execution on a simulated device.
+
+Runs every work-group of an NDRange through a compiled kernel.  Kernels
+that use ``barrier()`` are Python generators: all work-items of a group
+are driven phase-by-phase, with divergence detection (every item of a
+group must reach the same number of barriers, as OpenCL requires).
+
+For very large NDRanges the executor supports *sampled* execution: a
+deterministic, evenly spread subset of work-groups is executed and the
+cost statistics are scaled up by the sampling factor.  Outputs are then
+only partially written, so sampling is reserved for timing runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..kernelc.compiler import CompiledKernel
+from ..kernelc.execmodel import ExecutionCounters, WorkItemContext
+from ..kernelc.interp import allocate_local_memory
+from ..kernelc.memory import KernelFault
+from .ndrange import NDRange
+
+# SIMD width used for divergence accounting (NVIDIA warp).
+WARP_SIZE = 32
+
+
+@dataclass
+class ExecutionResult:
+    counters: ExecutionCounters
+    groups_total: int
+    groups_executed: int
+
+    @property
+    def sampled(self) -> bool:
+        return self.groups_executed < self.groups_total
+
+    @property
+    def scale(self) -> float:
+        return self.groups_total / max(self.groups_executed, 1)
+
+
+def select_sample_groups(groups: List[tuple], fraction: float) -> List[tuple]:
+    """A deterministic, evenly spread subset of work-groups."""
+    count = max(1, round(len(groups) * fraction))
+    if count >= len(groups):
+        return groups
+    step = len(groups) / count
+    return [groups[min(int(i * step), len(groups) - 1)] for i in range(count)]
+
+
+def execute_ndrange(
+    kernel: CompiledKernel,
+    ndrange: NDRange,
+    args: Sequence,
+    sample_fraction: Optional[float] = None,
+    counters: Optional[ExecutionCounters] = None,
+) -> ExecutionResult:
+    """Execute ``kernel`` over ``ndrange``; returns scaled cost counters.
+
+    ``counters`` must be the same object the argument pointers report
+    their memory traffic to (the queue wires this up), so that sampled
+    execution scales operations and memory traffic consistently.
+    """
+    if counters is None:
+        counters = ExecutionCounters()
+    groups = list(ndrange.group_ids())
+    if sample_fraction is not None and 0 < sample_fraction < 1:
+        selected = select_sample_groups(groups, sample_fraction)
+    else:
+        selected = groups
+
+    local_ids = list(ndrange.local_ids())
+    local_size = ndrange.local_size
+    global_size = ndrange.global_size
+    func = kernel.func
+    has_locals = bool(kernel.local_decls)
+
+    for group in selected:
+        if has_locals:
+            storage = allocate_local_memory(kernel.definition, counters)
+            lmem = [storage[id(decl)] for decl in kernel.local_decls]
+        else:
+            lmem = ()
+        base = tuple(g * l for g, l in zip(group, local_size))
+        contexts = [
+            WorkItemContext(
+                tuple(b + l for b, l in zip(base, local_id)),
+                local_id,
+                group,
+                global_size,
+                local_size,
+            )
+            for local_id in local_ids
+        ]
+        if kernel.uses_barrier:
+            _run_group_with_barriers(func, counters, contexts, lmem, args)
+        else:
+            # Warp-divergence accounting: a 32-lane warp runs as long as
+            # its slowest lane.  Work-items enumerate in local linear
+            # order (dimension 0 fastest), matching hardware warp packing.
+            warp_max = 0
+            lane = 0
+            before = counters.ops
+            for ctx in contexts:
+                func(counters, ctx, lmem, *args)
+                item_ops = counters.ops - before
+                before = counters.ops
+                if item_ops > warp_max:
+                    warp_max = item_ops
+                lane += 1
+                if lane == WARP_SIZE:
+                    counters.warp_ops += warp_max * WARP_SIZE
+                    warp_max = 0
+                    lane = 0
+            if lane:
+                counters.warp_ops += warp_max * WARP_SIZE
+
+    if len(selected) < len(groups):
+        scale = len(groups) / len(selected)
+        counters = counters.scaled(scale)
+    return ExecutionResult(counters, len(groups), len(selected))
+
+
+def _run_group_with_barriers(func, counters, contexts, lmem, args) -> None:
+    generators = [func(counters, ctx, lmem, *args) for ctx in contexts]
+    alive = generators
+    while alive:
+        yielded: List = []
+        finished = 0
+        for generator in alive:
+            try:
+                next(generator)
+                yielded.append(generator)
+            except StopIteration:
+                finished += 1
+        if yielded and finished:
+            raise KernelFault(
+                "barrier divergence: some work-items of a group reached a "
+                "barrier other items skipped"
+            )
+        alive = yielded

@@ -1,0 +1,79 @@
+"""Programs: kernel source → checked AST → compiled kernels.
+
+``Program.build()`` runs the full kernelc front-end and the compiling
+backend.  Builds are cached per ``(source, defines)`` so that skeleton
+libraries repeatedly instantiating the same generated source (as SkelCL
+does) only pay the compilation cost once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..kernelc.compiler import CompiledProgram, compile_program
+from ..kernelc.diagnostics import CompileError
+from ..kernelc.frontend import compile_source
+from ..kernelc.preprocessor import PreprocessorError
+from .errors import BuildError
+
+_BUILD_CACHE: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], CompiledProgram] = {}
+
+
+def clear_build_cache() -> None:
+    _BUILD_CACHE.clear()
+
+
+def build_cache_size() -> int:
+    return len(_BUILD_CACHE)
+
+
+class Program:
+    def __init__(self, source: str, name: str = "<kernel>", defines: Optional[Dict[str, str]] = None):
+        self.source = source
+        self.name = name
+        self.defines = dict(defines) if defines else {}
+        self.build_log = ""
+        self._compiled: Optional[CompiledProgram] = None
+
+    @property
+    def is_built(self) -> bool:
+        return self._compiled is not None
+
+    def build(self) -> "Program":
+        key = (self.source, tuple(sorted(self.defines.items())))
+        cached = _BUILD_CACHE.get(key)
+        if cached is not None:
+            self._compiled = cached
+            self.build_log = "(cached)"
+            return self
+        try:
+            checked = compile_source(self.source, self.name, self.defines)
+            compiled = compile_program(checked)
+        except CompileError as exc:
+            self.build_log = str(exc)
+            raise BuildError(self.build_log) from exc
+        except PreprocessorError as exc:
+            self.build_log = str(exc)
+            raise BuildError(self.build_log) from exc
+        _BUILD_CACHE[key] = compiled
+        self._compiled = compiled
+        self.build_log = "build successful"
+        return self
+
+    @property
+    def compiled(self) -> CompiledProgram:
+        if self._compiled is None:
+            self.build()
+        return self._compiled
+
+    def kernel_names(self):
+        return sorted(self.compiled.kernels)
+
+    def create_kernel(self, name: str) -> "Kernel":
+        from .kernel import Kernel
+
+        return Kernel(self, self.compiled.kernel(name))
+
+    def __repr__(self) -> str:
+        state = "built" if self.is_built else "source"
+        return f"<Program {self.name!r} ({state})>"

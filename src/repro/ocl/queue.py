@@ -1,0 +1,149 @@
+"""In-order command queues with a simulated device timeline.
+
+Every enqueued command advances the queue's clock by the duration the
+analytic timing model assigns to it, and returns an :class:`Event`
+carrying OpenCL-style profiling timestamps.  Different queues (different
+devices) advance independently — multi-GPU wall-clock time is the
+maximum over the involved queues, which :class:`repro.ocl.context.Context`
+computes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..kernelc.execmodel import ExecutionCounters
+from .buffer import Buffer
+from .device import Device
+from .errors import InvalidValue
+from .event import Event
+from .executor import execute_ndrange
+from .kernel import Kernel
+from .ndrange import NDRange
+from .timing import kernel_time_ns, simd_utilization, transfer_time_ns
+
+
+class CommandQueue:
+    def __init__(self, device: Device, profiling: bool = True):
+        self.device = device
+        self.profiling = profiling
+        self.time_ns = 0
+        self.events: List[Event] = []
+        # Aggregate statistics over the queue's lifetime.
+        self.total_kernel_ns = 0
+        self.total_transfer_ns = 0
+        self.total_transfer_bytes = 0
+
+    # -- timeline -----------------------------------------------------------
+
+    def reset_timeline(self) -> None:
+        self.time_ns = 0
+        self.events.clear()
+        self.total_kernel_ns = 0
+        self.total_transfer_ns = 0
+        self.total_transfer_bytes = 0
+
+    def finish(self) -> int:
+        """Block until all commands complete; returns the queue clock."""
+        return self.time_ns
+
+    def _record(self, event: Event, duration_ns: int) -> Event:
+        event.queued_ns = self.time_ns
+        event.submit_ns = self.time_ns
+        event.start_ns = self.time_ns
+        event.end_ns = self.time_ns + duration_ns
+        self.time_ns = event.end_ns
+        if self.profiling:
+            self.events.append(event)
+        return event
+
+    # -- commands -------------------------------------------------------------
+
+    def enqueue_nd_range_kernel(
+        self,
+        kernel: Kernel,
+        global_size,
+        local_size=None,
+        sample_fraction: Optional[float] = None,
+    ) -> Event:
+        """Launch ``kernel``; returns the profiling event."""
+        ndrange = NDRange.create(global_size, local_size, self.device.max_work_group_size)
+        counters = ExecutionCounters()
+        # The pointers created here report memory traffic into
+        # `counters.memory`, and the executor charges ops to the same
+        # object, so sampling scales both consistently.
+        args = kernel.marshal_args(counters, self.device)
+        result = execute_ndrange(kernel.compiled, ndrange, args, sample_fraction, counters)
+        duration = kernel_time_ns(
+            self.device.spec,
+            result.counters,
+            simd_utilization(ndrange.work_group_size),
+        )
+        event = Event("ndrange_kernel", kernel.name)
+        event.info.update(
+            ops=result.counters.ops,
+            warp_ops=result.counters.warp_ops,
+            global_loads=result.counters.memory.global_loads,
+            global_stores=result.counters.memory.global_stores,
+            global_bytes=result.counters.memory.global_bytes,
+            local_loads=result.counters.memory.local_loads,
+            local_stores=result.counters.memory.local_stores,
+            barriers=result.counters.barriers,
+            work_items=ndrange.total_work_items,
+            groups_total=result.groups_total,
+            groups_executed=result.groups_executed,
+        )
+        self._record(event, duration)
+        self.total_kernel_ns += duration
+        return event
+
+    def enqueue_write_buffer(self, buffer: Buffer, data: np.ndarray, blocking: bool = True,
+                             offset_bytes: int = 0) -> Event:
+        if buffer.device is not self.device:
+            raise InvalidValue("buffer belongs to a different device than this queue")
+        nbytes = buffer.write_from_host(data, offset_bytes)
+        duration = transfer_time_ns(self.device.spec, nbytes)
+        event = Event("write_buffer", buffer.name or "buffer", info={"bytes": nbytes})
+        self._record(event, duration)
+        self.total_transfer_ns += duration
+        self.total_transfer_bytes += nbytes
+        return event
+
+    def enqueue_copy_buffer(self, src: Buffer, dst: Buffer, nbytes: int,
+                            src_offset_bytes: int = 0, dst_offset_bytes: int = 0) -> Event:
+        """Device-local buffer-to-buffer copy (clEnqueueCopyBuffer).
+
+        Both buffers must live on this queue's device; the copy costs
+        global-memory bandwidth (read + write), never the PCIe link.
+        """
+        if src.device is not self.device or dst.device is not self.device:
+            raise InvalidValue("copy_buffer requires both buffers on this queue's device")
+        data = src.read_to_host(np.uint8, nbytes, src_offset_bytes)
+        dst.write_from_host(data, dst_offset_bytes)
+        duration = int(
+            2 * nbytes / self.device.spec.global_bandwidth_gbs + 1000  # +1us overhead
+        )
+        event = Event("copy_buffer", dst.name or "buffer", info={"bytes": nbytes})
+        self._record(event, duration)
+        return event
+
+    def enqueue_read_buffer(self, buffer: Buffer, dtype, count: Optional[int] = None,
+                            offset_bytes: int = 0, blocking: bool = True):
+        """Read back data; returns ``(array, event)``."""
+        if buffer.device is not self.device:
+            raise InvalidValue("buffer belongs to a different device than this queue")
+        data = buffer.read_to_host(dtype, count, offset_bytes)
+        duration = transfer_time_ns(self.device.spec, data.nbytes)
+        event = Event("read_buffer", buffer.name or "buffer", info={"bytes": data.nbytes})
+        self._record(event, duration)
+        self.total_transfer_ns += duration
+        self.total_transfer_bytes += data.nbytes
+        return data, event
+
+    def kernel_events(self) -> List[Event]:
+        return [e for e in self.events if e.command_type == "ndrange_kernel"]
+
+    def __repr__(self) -> str:
+        return f"<CommandQueue on {self.device.name} t={self.time_ns}ns>"

@@ -1,0 +1,65 @@
+"""Text renderers for the experiment tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports:
+:func:`render_table` for aligned tables and :func:`render_bars` for
+ASCII bar charts standing in for Fig. 4 / Fig. 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(part.ljust(width) for part, width in zip(parts, widths)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * width for width in widths]))
+    for row in cells:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_bars(values: Dict[str, float], unit: str = "", title: str = "",
+                width: int = 50, reference: Optional[Dict[str, float]] = None) -> str:
+    """Render a horizontal ASCII bar chart (one bar per labelled value).
+
+    ``reference`` optionally annotates each bar with the paper's value.
+    """
+    out: List[str] = []
+    if title:
+        out.append(title)
+    if not values:
+        return "\n".join(out + ["(no data)"])
+    peak = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    for label, value in values.items():
+        bar = "#" * max(1, round(width * value / peak))
+        suffix = f" {value:.3g} {unit}".rstrip()
+        if reference and label in reference:
+            suffix += f"   (paper: {reference[label]:.3g} {unit})".rstrip()
+        out.append(f"{label.ljust(label_width)} |{bar}{suffix}")
+    return "\n".join(out)
+
+
+def format_speedups(times_ns: Dict[int, float]) -> str:
+    """Render a device-count → time mapping as a speedup table."""
+    if not times_ns:
+        return "(no data)"
+    base = times_ns.get(1, next(iter(times_ns.values())))
+    rows = [
+        (devices, f"{time / 1e6:.3f} ms", f"{base / time:.2f}x")
+        for devices, time in sorted(times_ns.items())
+    ]
+    return render_table(["GPUs", "time", "speedup"], rows)

@@ -1,0 +1,75 @@
+"""repro.skelcl: the SkelCL library (the paper's contribution).
+
+The paper's three enhancements over raw OpenCL:
+
+1. **Parallel container data types** — :class:`Vector`, :class:`Matrix`
+   (and the :class:`Scalar` result wrapper): transparently accessible
+   from host and devices with implicit, lazy memory transfers (§3.1).
+2. **Data distributions** — :class:`Single`, :class:`Copy`,
+   :class:`Block`, :class:`Overlap` with implicit redistribution (§3.2).
+3. **Algorithmic skeletons** — :class:`Map`, :class:`Zip`,
+   :class:`Reduce`, :class:`Scan` (§3.3), :class:`MapOverlap` (§3.4) and
+   :class:`AllPairs` (§3.5), customized with OpenCL-C function strings.
+
+The dot-product example from Listing 1.1::
+
+    import repro.skelcl as skelcl
+
+    skelcl.init(num_devices=2)
+    sum_ = skelcl.Reduce("float func(float x, float y) { return x + y; }")
+    mult = skelcl.Zip("float func(float x, float y) { return x * y; }")
+    a = skelcl.Vector(data=...)
+    b = skelcl.Vector(data=...)
+    c = sum_(mult(a, b)).get_value()
+"""
+
+from .allpairs import AllPairs
+from .container import Container
+from .distribution import Block, Chunk, Copy, Distribution, Overlap, Single, block, block_ranges, copy, overlap, single
+from .index import IndexMatrix, IndexVector
+from .map import Map
+from .mapoverlap import BoundaryMode, MapOverlap, SCL_NEAREST, SCL_NEUTRAL
+from .matrix import Matrix
+from .reduce import Reduce
+from .runtime import SkelCLError, get_runtime, init, is_initialized, terminate
+from .scalar import Scalar
+from .scan import Scan
+from .skeleton import DEFAULT_WORK_GROUP_SIZE, Skeleton
+from .vector import Vector
+from .zip import Zip
+
+__all__ = [
+    "AllPairs",
+    "Block",
+    "BoundaryMode",
+    "Chunk",
+    "Container",
+    "Copy",
+    "DEFAULT_WORK_GROUP_SIZE",
+    "Distribution",
+    "IndexMatrix",
+    "IndexVector",
+    "Map",
+    "MapOverlap",
+    "Matrix",
+    "Overlap",
+    "Reduce",
+    "SCL_NEAREST",
+    "SCL_NEUTRAL",
+    "Scalar",
+    "Scan",
+    "Single",
+    "SkelCLError",
+    "Skeleton",
+    "Vector",
+    "Zip",
+    "block",
+    "block_ranges",
+    "copy",
+    "get_runtime",
+    "init",
+    "is_initialized",
+    "overlap",
+    "single",
+    "terminate",
+]

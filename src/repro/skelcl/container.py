@@ -1,0 +1,285 @@
+"""Container coherence: the implicit host↔device memory management.
+
+The paper's §3.1: containers are "transparently accessible by both, host
+and devices".  This module implements the lazy coherence protocol behind
+that transparency:
+
+* host reads after device computation trigger an implicit download;
+* device use after host writes triggers an implicit upload;
+* changing the distribution of device-resident data triggers the
+  download/re-upload exchange the paper describes (§3.2) — all through
+  the simulated command queues, so every implicit copy is accounted for
+  in transfer time and bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import ocl
+from .distribution import Block, Chunk, Distribution
+from .runtime import SkelCLError, get_runtime
+from .types_ import ctype_for_dtype
+
+
+class Container:
+    """Base of :class:`Vector` and :class:`Matrix`.
+
+    Subclasses define the *unit*: the granularity of distribution
+    (elements for vectors, rows for matrices).  ``_units`` is the number
+    of units; ``_unit_elements`` the flat elements per unit.
+    """
+
+    def __init__(self, host: np.ndarray, units: int, unit_elements: int, name: str = ""):
+        self._host = host  # flat, C-contiguous
+        self._units = units
+        self._unit_elements = unit_elements
+        self.name = name
+        self._host_valid = True
+        self._device_valid = False
+        self._distribution: Optional[Distribution] = None
+        self._chunks: List[Chunk] = []
+        self._buffers: Dict[int, ocl.Buffer] = {}  # keyed by chunk position
+        self.element_ctype = ctype_for_dtype(host.dtype)
+
+    # -- public state -------------------------------------------------------
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._host.dtype
+
+    @property
+    def distribution(self) -> Optional[Distribution]:
+        return self._distribution
+
+    @property
+    def is_on_devices(self) -> bool:
+        return self._device_valid
+
+    def default_distribution(self) -> Distribution:
+        return Block()
+
+    # -- coherence ------------------------------------------------------------
+
+    def _itembytes(self) -> int:
+        return self._host.dtype.itemsize
+
+    def _unit_slice(self, start: int, end: int) -> slice:
+        return slice(start * self._unit_elements, end * self._unit_elements)
+
+    def ensure_host(self) -> None:
+        """Make the host copy up to date (implicit download)."""
+        if self._host_valid:
+            return
+        if not self._device_valid:
+            raise SkelCLError("container has neither valid host nor device data")
+        runtime = get_runtime()
+        seen_units: set = set()
+        for position, chunk in enumerate(self._chunks):
+            if chunk.owned_size == 0:
+                continue
+            key = (chunk.owned_start, chunk.owned_end)
+            if key in seen_units and self._distribution is not None and self._distribution.kind == "copy":
+                continue  # copy distribution: one download suffices
+            seen_units.add(key)
+            queue = runtime.queue(chunk.device_index)
+            offset_units = chunk.owned_start - chunk.stored_start
+            offset_bytes = offset_units * self._unit_elements * self._itembytes()
+            count = chunk.owned_size * self._unit_elements
+            data, _event = queue.enqueue_read_buffer(
+                self._buffers[position], self._host.dtype, count, offset_bytes
+            )
+            self._host[self._unit_slice(chunk.owned_start, chunk.owned_end)] = data
+            if self._distribution is not None and self._distribution.kind == "copy":
+                break  # all devices hold the same data
+        self._host_valid = True
+
+    def invalidate_devices(self) -> None:
+        """Host data changed: device copies are stale."""
+        self._device_valid = False
+
+    def mark_written_on_devices(self) -> None:
+        """A kernel wrote this container: host copy is stale."""
+        self._device_valid = True
+        self._host_valid = False
+
+    def _relabel_if_layout_compatible(self, target: Distribution) -> bool:
+        """Adopt ``target`` without moving data when its chunks store the
+        same ranges on the same devices (e.g. any change on one GPU, or
+        block ↔ overlap(0)).  Real SkelCL performs the same no-op
+        redistribution; only the ownership bookkeeping changes."""
+        if not self._device_valid or not self._chunks:
+            return False
+        runtime = get_runtime()
+        new_chunks = target.chunks(self._units, runtime.num_devices)
+        if len(new_chunks) != len(self._chunks):
+            return False
+        for old, new in zip(self._chunks, new_chunks):
+            if old.device_index != new.device_index:
+                return False
+            # Every unit the new layout stores (and therefore owns) must
+            # already be present in the device's buffer; e.g. copy→block
+            # (ownership shrinks) or overlap→block (halo becomes slack).
+            if new.stored_start < old.stored_start or new.stored_end > old.stored_end:
+                return False
+        # Adopt the new ownership but keep the buffers: the chunk records
+        # the buffers' actual (possibly larger) stored layout.
+        self._chunks = [
+            Chunk(new.device_index, new.owned_start, new.owned_end,
+                  old.stored_start, old.stored_end)
+            for old, new in zip(self._chunks, new_chunks)
+        ]
+        self._distribution = target
+        return True
+
+    def _refresh_halos(self, target: Distribution) -> bool:
+        """Grow per-device storage in place when only halos are missing
+        (e.g. block → overlap(d) with unchanged owned ranges): the owned
+        data is copied device-locally and only the halo units cross the
+        PCIe link — the implicit halo exchange of §3.2, without
+        round-tripping the whole container through the host."""
+        if not self._device_valid or not self._chunks:
+            return False
+        runtime = get_runtime()
+        new_chunks = target.chunks(self._units, runtime.num_devices)
+        if len(new_chunks) != len(self._chunks):
+            return False
+        for old, new in zip(self._chunks, new_chunks):
+            if old.device_index != new.device_index:
+                return False
+            if (old.owned_start, old.owned_end) != (new.owned_start, new.owned_end):
+                return False
+            if new.stored_start > old.stored_start or new.stored_end < old.stored_end:
+                return False  # storage would shrink somewhere: not a pure grow
+
+        unit_bytes = self._unit_elements * self._itembytes()
+        new_buffers: Dict[int, ocl.Buffer] = {}
+        for position, (old, new) in enumerate(zip(self._chunks, new_chunks)):
+            device = runtime.devices[new.device_index]
+            queue = runtime.queue(new.device_index)
+            buffer = runtime.context.create_buffer(
+                max(new.stored_size, 1) * unit_bytes, device,
+                name=f"{self.name or 'container'}[{position}]",
+            )
+            if old.stored_size > 0:
+                queue.enqueue_copy_buffer(
+                    self._buffers[position],
+                    buffer,
+                    old.stored_size * unit_bytes,
+                    0,
+                    (old.stored_start - new.stored_start) * unit_bytes,
+                )
+            # Fetch the missing halo units from their owners.
+            for lo, hi in ((new.stored_start, old.stored_start), (old.stored_end, new.stored_end)):
+                position_in_units = lo
+                while position_in_units < hi:
+                    owner_position, owner = self._owner_of(position_in_units)
+                    take = min(hi, owner.owned_end) - position_in_units
+                    owner_queue = runtime.queue(owner.device_index)
+                    data, _event = owner_queue.enqueue_read_buffer(
+                        self._buffers[owner_position],
+                        self._host.dtype,
+                        take * self._unit_elements,
+                        (position_in_units - owner.stored_start) * unit_bytes,
+                    )
+                    queue.enqueue_write_buffer(
+                        buffer,
+                        np.ascontiguousarray(data),
+                        offset_bytes=(position_in_units - new.stored_start) * unit_bytes,
+                    )
+                    position_in_units += take
+            new_buffers[position] = buffer
+        for buffer in self._buffers.values():
+            buffer.release()
+        self._buffers = new_buffers
+        self._chunks = new_chunks
+        self._distribution = target
+        return True
+
+    def _owner_of(self, unit: int):
+        """The chunk position owning ``unit`` under the current chunks."""
+        for position, chunk in enumerate(self._chunks):
+            if chunk.owned_start <= unit < chunk.owned_end:
+                return position, chunk
+        raise SkelCLError(f"no chunk owns unit {unit}")
+
+    def set_distribution(self, distribution: Distribution) -> None:
+        """Change the distribution; triggers implicit data exchange when
+        device data is live (the cumbersome manual OpenCL dance of §3.2)."""
+        if distribution == self._distribution:
+            return
+        if self._relabel_if_layout_compatible(distribution):
+            return
+        if self._refresh_halos(distribution):
+            return
+        if self._device_valid:
+            self.ensure_host()
+            self._drop_buffers()
+            self._distribution = distribution
+            self._upload()
+        else:
+            self._drop_buffers()
+            self._distribution = distribution
+
+    def ensure_on_devices(self, distribution: Optional[Distribution] = None) -> List[Tuple[Chunk, ocl.Buffer]]:
+        """Make device data valid under ``distribution`` (or the current /
+        default one); returns the chunk/buffer pairs for kernel launches."""
+        target = distribution or self._distribution or self.default_distribution()
+        if target != self._distribution and not self._relabel_if_layout_compatible(target) \
+                and not self._refresh_halos(target):
+            if self._device_valid:
+                self.ensure_host()
+                self._device_valid = False
+            self._drop_buffers()
+            self._distribution = target
+        if not self._device_valid:
+            self.ensure_host()
+            self._upload()
+        return self.chunk_buffers()
+
+    def prepare_as_output(self, distribution: Distribution) -> List[Tuple[Chunk, ocl.Buffer]]:
+        """Allocate device storage for kernel output (no upload)."""
+        if distribution != self._distribution or not self._buffers:
+            self._drop_buffers()
+            self._distribution = distribution
+            self._allocate_buffers()
+        self._device_valid = True
+        self._host_valid = False
+        return self.chunk_buffers()
+
+    def chunk_buffers(self) -> List[Tuple[Chunk, ocl.Buffer]]:
+        return [(chunk, self._buffers[position]) for position, chunk in enumerate(self._chunks)]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _allocate_buffers(self) -> None:
+        runtime = get_runtime()
+        assert self._distribution is not None
+        self._chunks = self._distribution.chunks(self._units, runtime.num_devices)
+        self._buffers = {}
+        for position, chunk in enumerate(self._chunks):
+            nbytes = max(chunk.stored_size, 1) * self._unit_elements * self._itembytes()
+            device = runtime.devices[chunk.device_index]
+            self._buffers[position] = runtime.context.create_buffer(
+                nbytes, device, name=f"{self.name or 'container'}[{position}]"
+            )
+
+    def _upload(self) -> None:
+        if not self._buffers:
+            self._allocate_buffers()
+        runtime = get_runtime()
+        for position, chunk in enumerate(self._chunks):
+            if chunk.stored_size == 0:
+                continue
+            queue = runtime.queue(chunk.device_index)
+            data = self._host[self._unit_slice(chunk.stored_start, chunk.stored_end)]
+            queue.enqueue_write_buffer(self._buffers[position], data)
+        self._device_valid = True
+
+    def _drop_buffers(self) -> None:
+        for buffer in self._buffers.values():
+            buffer.release()
+        self._buffers = {}
+        self._chunks = []

@@ -1,0 +1,112 @@
+"""Parsing of user-supplied customizing functions.
+
+SkelCL users pass functions as plain OpenCL-C strings (§3.3): the
+library parses them to learn the function name and signature, which
+drive kernel code generation and container type checking — and, for
+MapOverlap, to rewrite the signature with the hidden position/geometry
+parameters the generated ``get()`` accessor needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..kernelc import ast
+from ..kernelc.ctypes_ import CType, PointerType, ScalarType
+from ..kernelc.diagnostics import CompileError
+from ..kernelc.parser import parse
+from ..kernelc.preprocessor import preprocess
+from .runtime import SkelCLError
+
+
+@dataclass
+class UserFunction:
+    source: str  # the (preprocessed) full user source, possibly with helpers
+    name: str  # the customizing function: the *last* function defined
+    return_type: CType
+    param_types: Tuple[CType, ...]
+    param_names: Tuple[str, ...]
+    definition: ast.FunctionDef
+
+    @property
+    def arity(self) -> int:
+        return len(self.param_types)
+
+
+def parse_user_function(source: str) -> UserFunction:
+    """Parse a customizing function string.
+
+    The string may contain several helper functions; the last function
+    defined is the customizing function (as in SkelCL).
+    """
+    expanded = preprocess(source, "<user function>")
+    try:
+        program = parse(expanded, "<user function>")
+    except CompileError as exc:
+        raise SkelCLError(f"cannot parse user function:\n{exc}") from exc
+    if not program.functions:
+        raise SkelCLError("user function source defines no function")
+    fn = program.functions[-1]
+    if fn.is_kernel:
+        raise SkelCLError("a customizing function must not be a __kernel")
+    return UserFunction(
+        source=expanded,
+        name=fn.name,
+        return_type=fn.return_type,
+        param_types=tuple(p.declared_type for p in fn.params),
+        param_names=tuple(p.name for p in fn.params),
+        definition=fn,
+    )
+
+
+def scalar_param(user_function: UserFunction, index: int) -> ScalarType:
+    ctype = user_function.param_types[index]
+    if not isinstance(ctype, ScalarType) or not ctype.is_arithmetic():
+        raise SkelCLError(
+            f"parameter {index} of {user_function.name!r} must be a scalar "
+            f"arithmetic type, got {ctype}"
+        )
+    return ctype
+
+
+def scalar_return(user_function: UserFunction) -> ScalarType:
+    ctype = user_function.return_type
+    if not isinstance(ctype, ScalarType) or not ctype.is_arithmetic():
+        raise SkelCLError(
+            f"{user_function.name!r} must return a scalar arithmetic type, got {ctype}"
+        )
+    return ctype
+
+
+def pointer_param(user_function: UserFunction, index: int) -> PointerType:
+    ctype = user_function.param_types[index]
+    if not isinstance(ctype, PointerType):
+        raise SkelCLError(
+            f"parameter {index} of {user_function.name!r} must be a pointer, got {ctype}"
+        )
+    return ctype
+
+
+def append_hidden_params(user_function: UserFunction, extra_params: str) -> str:
+    """Rewrite the customizing function's signature, appending
+    ``extra_params`` (e.g. ``"long _gx, int _w"``) — used by MapOverlap
+    to put the hidden geometry arguments in scope for ``get()``.
+    """
+    source = user_function.source
+    body_offset = user_function.definition.body.span.start.offset
+    close = source.rfind(")", 0, body_offset)
+    if close < 0:
+        raise SkelCLError("cannot locate the user function's parameter list")
+    # Empty parameter list: don't produce "(, extra)".
+    open_paren = source.rfind("(", 0, close)
+    inner = source[open_paren + 1 : close].strip()
+    separator = ", " if inner and inner != "void" else ""
+    if inner == "void":
+        return source[:open_paren + 1] + extra_params + source[close:]
+    return source[:close] + separator + extra_params + source[close:]
+
+
+def extra_args_of(user_function: UserFunction, fixed: int) -> List[CType]:
+    """The trailing "additional argument" types after the fixed ones."""
+    return list(user_function.param_types[fixed:])

@@ -1,0 +1,220 @@
+"""The Map skeleton: ``map f [c1..cn] = [f(c1)..f(cn)]`` (§3.3).
+
+Works on vectors and matrices (elementwise, flat).  The customizing
+function takes the element as its first parameter; any further scalar
+parameters become *additional arguments* supplied at call time::
+
+    neg = Map("float func(float x) { return -x; }")
+    result = neg(input_vector)
+
+    scale = Map("float func(float x, float s) { return x * s; }")
+    result = scale(input_vector, 2.5)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .container import Container
+from .distribution import Block
+from .funcparse import extra_args_of, scalar_param, scalar_return
+from .matrix import Matrix
+from .runtime import SkelCLError, get_runtime
+from .skeleton import DEFAULT_WORK_GROUP_SIZE, Skeleton, round_up
+from .vector import Vector
+
+_KERNEL_TEMPLATE = """\
+{user_source}
+
+__kernel void skelcl_map(__global const {in_type}* SCL_IN,
+                         __global {out_type}* SCL_OUT,
+                         const unsigned int SCL_N,
+                         const unsigned int SCL_OFFSET{extra_params}) {{
+    size_t SCL_ID = get_global_id(0);
+    if (SCL_ID < SCL_N) {{
+        SCL_OUT[SCL_ID] = {func}(SCL_IN[SCL_ID + SCL_OFFSET]{extra_call});
+    }}
+}}
+"""
+
+# Map over an IndexVector: the element IS the global index, so there is
+# no input buffer at all (SCL_FIRST is the chunk's first index).
+_INDEX_KERNEL_TEMPLATE = """\
+{user_source}
+
+__kernel void skelcl_map_index(__global {out_type}* SCL_OUT,
+                               const unsigned int SCL_N,
+                               const long SCL_FIRST{extra_params}) {{
+    size_t SCL_ID = get_global_id(0);
+    if (SCL_ID < SCL_N) {{
+        SCL_OUT[SCL_ID] = {func}(({in_type})(SCL_FIRST + SCL_ID){extra_call});
+    }}
+}}
+"""
+
+# Map over an IndexMatrix: the customizing function receives (row, col).
+_INDEX_MATRIX_KERNEL_TEMPLATE = """\
+{user_source}
+
+__kernel void skelcl_map_index_m(__global {out_type}* SCL_OUT,
+                                 const int SCL_COLS,
+                                 const int SCL_ROWS_OWNED,
+                                 const long SCL_ROW0{extra_params}) {{
+    long SCL_COL = get_global_id(0);
+    long SCL_LROW = get_global_id(1);
+    if (SCL_COL < SCL_COLS && SCL_LROW < SCL_ROWS_OWNED) {{
+        SCL_OUT[SCL_LROW * SCL_COLS + SCL_COL] =
+            {func}(({row_type})(SCL_ROW0 + SCL_LROW), ({col_type})SCL_COL{extra_call});
+    }}
+}}
+"""
+
+
+class Map(Skeleton):
+    def __init__(self, source: str, work_group_size: int = DEFAULT_WORK_GROUP_SIZE):
+        super().__init__(source)
+        if self.user.arity < 1:
+            raise SkelCLError("a Map customizing function needs at least one parameter")
+        self.in_type = scalar_param(self.user, 0)
+        self.out_type = scalar_return(self.user)
+        self.extra_types = [scalar_param(self.user, 1 + i)
+                            for i in range(self.user.arity - 1)]
+        _ = extra_args_of  # extra types validated above
+        self.work_group_size = work_group_size
+
+    def kernel_source(self) -> str:
+        return _KERNEL_TEMPLATE.format(
+            user_source=self.user.source,
+            in_type=self.in_type.name,
+            out_type=self.out_type.name,
+            func=self.user.name,
+            extra_params=self.extra_param_source(self.extra_types),
+            extra_call=self.extra_call_source(self.extra_types),
+        )
+
+    def index_kernel_source(self) -> str:
+        return _INDEX_KERNEL_TEMPLATE.format(
+            user_source=self.user.source,
+            in_type=self.in_type.name,
+            out_type=self.out_type.name,
+            func=self.user.name,
+            extra_params=self.extra_param_source(self.extra_types),
+            extra_call=self.extra_call_source(self.extra_types),
+        )
+
+    def index_matrix_kernel_source(self) -> str:
+        return _INDEX_MATRIX_KERNEL_TEMPLATE.format(
+            user_source=self.user.source,
+            row_type=self.in_type.name,
+            col_type=self.user.param_types[1].name,
+            out_type=self.out_type.name,
+            func=self.user.name,
+            extra_params=self.extra_param_source(self.extra_types[1:]),
+            extra_call=self.extra_call_source(self.extra_types[1:]),
+        )
+
+    def _call_index_matrix(self, index_matrix, extra_args, out, sample_fraction):
+        """Map over an IndexMatrix: the function receives (row, col)."""
+        if self.user.arity < 2:
+            raise SkelCLError(
+                "Map over an IndexMatrix needs a customizing function taking "
+                "(row, col) as its first two parameters"
+            )
+        col_type = self.user.param_types[1]
+        if not (self.in_type.is_integer() and getattr(col_type, "is_integer", lambda: False)()):
+            raise SkelCLError(
+                "Map over an IndexMatrix needs integer (row, col) parameters"
+            )
+        extras = self.check_extra_args(self.extra_types[1:], extra_args)
+        out_dtype = self.result_dtype(self.out_type)
+        if out is None:
+            out = Matrix(index_matrix.shape, dtype=out_dtype)
+        elif out.dtype != out_dtype:
+            raise SkelCLError(f"output container dtype {out.dtype} does not match {self.out_type}")
+        out_chunks = out.prepare_as_output(index_matrix.distribution)
+        program = self._program(self.index_matrix_kernel_source(),
+                                f"skelcl_map_index_m_{self.user.name}")
+        cols = index_matrix.cols
+        local = (16, 16)
+        for chunk, out_buffer in out_chunks:
+            rows = chunk.owned_size
+            if rows == 0:
+                continue
+            kernel = program.create_kernel("skelcl_map_index_m")
+            kernel.set_args(out_buffer, cols, rows, chunk.owned_start, *extras)
+            global_size = (round_up(cols, local[0]), round_up(rows, local[1]))
+            self._enqueue(chunk.device_index, kernel, global_size, local, sample_fraction)
+        out.mark_written_on_devices()
+        return out
+
+    def _call_index(self, index_vector, extras, out, sample_fraction):
+        """Map over an IndexVector: no input buffer, elements are indices."""
+        out_dtype = self.result_dtype(self.out_type)
+        if out is None:
+            out = Vector(index_vector.size, dtype=out_dtype)
+        elif out.dtype != out_dtype:
+            raise SkelCLError(f"output container dtype {out.dtype} does not match {self.out_type}")
+        out_chunks = out.prepare_as_output(index_vector.distribution)
+        program = self._program(self.index_kernel_source(), f"skelcl_map_index_{self.user.name}")
+        for chunk, out_buffer in out_chunks:
+            n = chunk.owned_size
+            if n == 0:
+                continue
+            kernel = program.create_kernel("skelcl_map_index")
+            kernel.set_args(out_buffer, n, chunk.owned_start, *extras)
+            global_size = round_up(n, self.work_group_size)
+            self._enqueue(chunk.device_index, kernel, (global_size,), (self.work_group_size,),
+                          sample_fraction)
+        out.mark_written_on_devices()
+        return out
+
+    def __call__(self, input_container: Union[Vector, Matrix], *extra_args,
+                 out: Optional[Container] = None, sample_fraction: Optional[float] = None):
+        self._begin_call()
+        runtime = get_runtime()
+        from .index import IndexMatrix, IndexVector
+
+        if isinstance(input_container, IndexMatrix):
+            return self._call_index_matrix(input_container, extra_args, out, sample_fraction)
+        if isinstance(input_container, IndexVector):
+            if not self.in_type.is_integer():
+                raise SkelCLError(
+                    f"Map over an IndexVector needs an integer parameter, "
+                    f"the customizing function takes {self.in_type}"
+                )
+            extras = self.check_extra_args(self.extra_types, extra_args)
+            return self._call_index(input_container, extras, out, sample_fraction)
+        if input_container.dtype != self.result_dtype(self.in_type):
+            raise SkelCLError(
+                f"Map input has dtype {input_container.dtype}, but the customizing "
+                f"function takes {self.in_type}"
+            )
+        extras = self.check_extra_args(self.extra_types, extra_args)
+
+        distribution = self.resolve_input_distribution(input_container, Block())
+        chunks = input_container.ensure_on_devices(distribution)
+
+        out_dtype = self.result_dtype(self.out_type)
+        if out is None:
+            if isinstance(input_container, Matrix):
+                out = Matrix(input_container.shape, dtype=out_dtype)
+            else:
+                out = Vector(input_container.size, dtype=out_dtype)
+        elif out.dtype != out_dtype:
+            raise SkelCLError(f"output container dtype {out.dtype} does not match {self.out_type}")
+        out_chunks = out.prepare_as_output(self.output_distribution(distribution))
+
+        program = self._program(self.kernel_source(), f"skelcl_map_{self.user.name}")
+        unit_elements = input_container._unit_elements
+        for (in_chunk, in_buffer), (out_chunk, out_buffer) in zip(chunks, out_chunks):
+            n = in_chunk.owned_size * unit_elements
+            if n == 0:
+                continue
+            offset = in_chunk.halo_before * unit_elements
+            kernel = program.create_kernel("skelcl_map")
+            kernel.set_args(in_buffer, out_buffer, n, offset, *extras)
+            global_size = round_up(n, self.work_group_size)
+            self._enqueue(in_chunk.device_index, kernel, (global_size,), (self.work_group_size,),
+                          sample_fraction)
+        out.mark_written_on_devices()
+        return out

@@ -1,0 +1,360 @@
+"""The MapOverlap skeleton (§3.4): stencil computations on vectors and
+matrices.
+
+The customizing function receives a pointer to the current element and
+reads neighbours through the ``get`` accessor with *relative* indices::
+
+    m = MapOverlap('''
+        float func(float* m) {
+            float sum = 0.0f;
+            for (int i = -1; i <= 1; ++i)
+                for (int j = -1; j <= 1; ++j)
+                    sum += get(m, i, j);
+            return sum;
+        }''', 1, BoundaryMode.NEUTRAL, 0.0)
+
+Boundary handling follows the paper: outside the container ``get``
+yields the *neutral value* (``SCL_NEUTRAL``) or the nearest valid
+element (``SCL_NEAREST``).  Accesses beyond the declared overlap ``d``
+are rejected by a runtime range check in ``get`` (the checks the paper
+proposes eliminating statically — see
+:mod:`repro.kernelc.boundcheck`).
+
+**Implementation** (mirrors the real SkelCL, cf. §4.2: "the NVIDIA
+implementation and the MapOverlap skeleton of SkelCL" use fast local
+memory): each work-group cooperatively stages its block plus a
+``d``-wide halo in local memory; boundary handling happens once during
+the staged load, so ``get`` is a plain tile read.  On multiple GPUs the
+input uses the *overlap* distribution (Fig. 1d/2d), making all stencil
+reads device-local.
+
+Code generation note: the hidden tile-stride parameter ``get`` needs is
+appended to the customizing function's signature by a source rewrite,
+and a ``#define`` splices it into every ``get`` call site — the same
+source-to-source approach the SkelCL library uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+from .distribution import Block, Copy, Distribution, Overlap, Single
+from .funcparse import append_hidden_params, pointer_param, scalar_return
+from .matrix import Matrix
+from .runtime import SkelCLError
+from .skeleton import Skeleton, round_up, scalar_literal
+from .types_ import dtype_for_ctype
+from .vector import Vector
+
+
+class BoundaryMode(enum.Enum):
+    NEUTRAL = "neutral"
+    NEAREST = "nearest"
+
+
+# Paper-style constant aliases.
+SCL_NEUTRAL = BoundaryMode.NEUTRAL
+SCL_NEAREST = BoundaryMode.NEAREST
+
+# Work-group geometry baked into generated sources.
+_VEC_WG = 256
+_MAT_WG = 16
+
+_VECTOR_GET_CHECKED = """\
+{t} SCL_GET_V(const {t}* SCL_M, int SCL_DI) {{
+    if (SCL_DI < -{d} || SCL_DI > {d}) {{ __scl_trap(1); }}
+    return SCL_M[SCL_DI];
+}}
+
+#define get(m, di) SCL_GET_V((m), (di))"""
+
+# When the static analysis proves every offset in range, get() inlines
+# to a bare tile access (the paper's §3.4 future-work optimization).
+_VECTOR_GET_UNCHECKED = "#define get(m, di) ((m)[(di)])"
+
+_VECTOR_TEMPLATE = """\
+{get_accessor}
+
+{user_source}
+
+__kernel void skelcl_mapoverlap_v(__global const {t}* SCL_IN,
+                                  __global {u}* SCL_OUT,
+                                  const unsigned int SCL_OWNED,
+                                  const long SCL_START,
+                                  const long SCL_TOTAL,
+                                  const int SCL_HALO,
+                                  const int SCL_STORED) {{
+    __local {t} SCL_TILE[{wg} + 2 * {d}];
+    size_t SCL_LID = get_local_id(0);
+    long SCL_BASE = (long)get_group_id(0) * {wg};
+    {{
+        /* own element */
+        long SCL_OFF = SCL_BASE + SCL_LID;
+        long SCL_G = SCL_START + SCL_OFF;
+{load_body}
+        SCL_TILE[SCL_LID + {d}] = SCL_V;
+    }}
+    for (int SCL_I = (int)SCL_LID; SCL_I < 2 * {d}; SCL_I += {wg}) {{
+        /* halo elements (2*d of them, loaded by the first work-items) */
+        int SCL_T = SCL_I < {d} ? SCL_I : {wg} + SCL_I;
+        long SCL_OFF = SCL_BASE + SCL_T - {d};
+        long SCL_G = SCL_START + SCL_OFF;
+{load_body}
+        SCL_TILE[SCL_T] = SCL_V;
+    }}
+    barrier(CLK_LOCAL_MEM_FENCE);
+    size_t SCL_ID = get_global_id(0);
+    if (SCL_ID < SCL_OWNED) {{
+        SCL_OUT[SCL_ID] = {func}(&SCL_TILE[SCL_LID + {d}]);
+    }}
+}}
+"""
+
+_VECTOR_LOAD_NEUTRAL = """\
+        {t} SCL_V = {neutral};
+        if (SCL_G >= 0 && SCL_G < SCL_TOTAL && SCL_OFF + SCL_HALO < SCL_STORED) {{
+            SCL_V = SCL_IN[SCL_OFF + SCL_HALO];
+        }}"""
+
+_VECTOR_LOAD_NEAREST = """\
+        long SCL_C = SCL_G;
+        if (SCL_C < 0) {{ SCL_C = 0; }}
+        if (SCL_C >= SCL_TOTAL) {{ SCL_C = SCL_TOTAL - 1; }}
+        long SCL_IDX = SCL_C - SCL_START + SCL_HALO;
+        if (SCL_IDX >= SCL_STORED) {{ SCL_IDX = SCL_STORED - 1; }}
+        if (SCL_IDX < 0) {{ SCL_IDX = 0; }}
+        {t} SCL_V = SCL_IN[SCL_IDX];"""
+
+_MATRIX_GET_CHECKED = """\
+{t} SCL_GET_M(const {t}* SCL_M, int SCL_DX, int SCL_DY, int SCL_STRIDE) {{
+    if (SCL_DX < -{d} || SCL_DX > {d} || SCL_DY < -{d} || SCL_DY > {d}) {{ __scl_trap(1); }}
+    return SCL_M[SCL_DY * SCL_STRIDE + SCL_DX];
+}}
+
+#define get(m, dx, dy) SCL_GET_M((m), (dx), (dy), _stride)"""
+
+_MATRIX_GET_UNCHECKED = "#define get(m, dx, dy) ((m)[(dy) * _stride + (dx)])"
+
+_MATRIX_TEMPLATE = """\
+{get_accessor}
+
+{user_source}
+
+__kernel void skelcl_mapoverlap_m(__global const {t}* SCL_IN,
+                                  __global {u}* SCL_OUT,
+                                  const int SCL_W,
+                                  const int SCL_H,
+                                  const int SCL_ROW0,
+                                  const int SCL_ROWS_OWNED,
+                                  const int SCL_HALO,
+                                  const int SCL_STORED_ROWS) {{
+    __local {t} SCL_TILE[{wg} + 2 * {d}][{wg} + 2 * {d}];
+    const int SCL_LX = get_local_id(0);
+    const int SCL_LY = get_local_id(1);
+    const long SCL_CX0 = (long)get_group_id(0) * {wg} - {d};
+    const long SCL_RY0 = (long)get_group_id(1) * {wg} - {d};
+    const int SCL_SPAN = {wg} + 2 * {d};
+    {{
+        /* own element */
+        long SCL_SX = SCL_CX0 + SCL_LX + {d};
+        long SCL_SR = SCL_RY0 + SCL_LY + {d};
+        long SCL_GY = SCL_ROW0 + SCL_SR;
+{load_body}
+        SCL_TILE[SCL_LY + {d}][SCL_LX + {d}] = SCL_V;
+    }}
+    const int SCL_BORDER = SCL_SPAN * SCL_SPAN - {wg} * {wg};
+    for (int SCL_I = SCL_LY * {wg} + SCL_LX; SCL_I < SCL_BORDER;
+         SCL_I += {wg} * {wg}) {{
+        /* halo cells: top band, bottom band, then the side columns */
+        int SCL_K = SCL_I;
+        int SCL_TX;
+        int SCL_TY;
+        if (SCL_K < {d} * SCL_SPAN) {{
+            SCL_TY = SCL_K / SCL_SPAN;
+            SCL_TX = SCL_K % SCL_SPAN;
+        }} else if (SCL_K < 2 * {d} * SCL_SPAN) {{
+            SCL_K -= {d} * SCL_SPAN;
+            SCL_TY = SCL_SPAN - {d} + SCL_K / SCL_SPAN;
+            SCL_TX = SCL_K % SCL_SPAN;
+        }} else {{
+            SCL_K -= 2 * {d} * SCL_SPAN;
+            SCL_TY = {d} + SCL_K / (2 * {d});
+            int SCL_COL = SCL_K % (2 * {d});
+            SCL_TX = SCL_COL < {d} ? SCL_COL : {wg} + SCL_COL;
+        }}
+        long SCL_SX = SCL_CX0 + SCL_TX;
+        long SCL_SR = SCL_RY0 + SCL_TY;
+        long SCL_GY = SCL_ROW0 + SCL_SR;
+{load_body}
+        SCL_TILE[SCL_TY][SCL_TX] = SCL_V;
+    }}
+    barrier(CLK_LOCAL_MEM_FENCE);
+    long _gx = get_global_id(0);
+    long SCL_LROW = get_global_id(1);
+    if (_gx < SCL_W && SCL_LROW < SCL_ROWS_OWNED) {{
+        int _stride = SCL_SPAN;
+        SCL_OUT[SCL_LROW * SCL_W + _gx] =
+            {func}(&SCL_TILE[SCL_LY + {d}][SCL_LX + {d}], _stride);
+    }}
+}}
+"""
+
+_MATRIX_LOAD_NEUTRAL = """\
+        {t} SCL_V = {neutral};
+        if (SCL_SX >= 0 && SCL_SX < SCL_W && SCL_GY >= 0 && SCL_GY < SCL_H
+                && SCL_SR + SCL_HALO < SCL_STORED_ROWS) {{
+            SCL_V = SCL_IN[(SCL_SR + SCL_HALO) * SCL_W + SCL_SX];
+        }}"""
+
+_MATRIX_LOAD_NEAREST = """\
+        long SCL_CX = SCL_SX;
+        if (SCL_CX < 0) {{ SCL_CX = 0; }}
+        if (SCL_CX >= SCL_W) {{ SCL_CX = SCL_W - 1; }}
+        long SCL_CY = SCL_GY;
+        if (SCL_CY < 0) {{ SCL_CY = 0; }}
+        if (SCL_CY >= SCL_H) {{ SCL_CY = SCL_H - 1; }}
+        long SCL_RIDX = SCL_CY - SCL_ROW0 + SCL_HALO;
+        if (SCL_RIDX >= SCL_STORED_ROWS) {{ SCL_RIDX = SCL_STORED_ROWS - 1; }}
+        if (SCL_RIDX < 0) {{ SCL_RIDX = 0; }}
+        {t} SCL_V = SCL_IN[SCL_RIDX * SCL_W + SCL_CX];"""
+
+
+class MapOverlap(Skeleton):
+    def __init__(self, source: str, overlap: int,
+                 boundary: BoundaryMode = BoundaryMode.NEUTRAL, neutral=0,
+                 static_bounds: bool = True):
+        super().__init__(source)
+        if overlap < 0:
+            raise SkelCLError(f"overlap range must be non-negative, got {overlap}")
+        if self.user.arity != 1:
+            raise SkelCLError(
+                "a MapOverlap customizing function takes exactly one pointer parameter"
+            )
+        self.pointer_type = pointer_param(self.user, 0)
+        self.in_type = self.pointer_type.pointee
+        self.out_type = scalar_return(self.user)
+        self.overlap = overlap
+        self.boundary = boundary
+        self.neutral = neutral
+        # Static bounds proof (the paper's §3.4 future work): when every
+        # get() offset is provably within ±d, the runtime range checks
+        # are compiled out.
+        from ..kernelc.boundcheck import analyze_get_bounds
+
+        self.bounds_proof = analyze_get_bounds(self.user.definition, overlap)
+        self.checks_elided = static_bounds and self.bounds_proof.proven
+
+    # -- code generation ------------------------------------------------------
+
+    def _neutral_literal(self) -> str:
+        return scalar_literal(self.neutral, self.in_type)
+
+    def vector_source(self) -> str:
+        load_template = (
+            _VECTOR_LOAD_NEUTRAL if self.boundary is BoundaryMode.NEUTRAL else _VECTOR_LOAD_NEAREST
+        )
+        load_body = load_template.format(t=self.in_type.name, neutral=self._neutral_literal())
+        accessor = (
+            _VECTOR_GET_UNCHECKED
+            if self.checks_elided
+            else _VECTOR_GET_CHECKED.format(t=self.in_type.name, d=self.overlap)
+        )
+        return _VECTOR_TEMPLATE.format(
+            t=self.in_type.name,
+            u=self.out_type.name,
+            get_accessor=accessor,
+            load_body=load_body,
+            user_source=self.user.source,
+            func=self.user.name,
+            d=self.overlap,
+            wg=_VEC_WG,
+        )
+
+    def matrix_source(self) -> str:
+        load_template = (
+            _MATRIX_LOAD_NEUTRAL if self.boundary is BoundaryMode.NEUTRAL else _MATRIX_LOAD_NEAREST
+        )
+        load_body = load_template.format(t=self.in_type.name, neutral=self._neutral_literal())
+        accessor = (
+            _MATRIX_GET_UNCHECKED
+            if self.checks_elided
+            else _MATRIX_GET_CHECKED.format(t=self.in_type.name, d=self.overlap)
+        )
+        user = append_hidden_params(self.user, "int _stride")
+        return _MATRIX_TEMPLATE.format(
+            t=self.in_type.name,
+            u=self.out_type.name,
+            get_accessor=accessor,
+            load_body=load_body,
+            user_source=user,
+            func=self.user.name,
+            d=self.overlap,
+            wg=_MAT_WG,
+        )
+
+    # -- distribution policy -----------------------------------------------------
+
+    def _resolve_distribution(self, container) -> Distribution:
+        current = container.distribution
+        if isinstance(current, (Single, Copy)):
+            return current  # whole data present: no halo needed
+        if isinstance(current, Overlap) and current.overlap >= self.overlap:
+            return current
+        return Overlap(self.overlap)
+
+    # -- execution -------------------------------------------------------------------
+
+    def __call__(self, input_container: Union[Vector, Matrix], out=None):
+        self._begin_call()
+        expected = dtype_for_ctype(self.in_type)
+        if input_container.dtype != expected:
+            raise SkelCLError(
+                f"MapOverlap input dtype {input_container.dtype} does not match {self.in_type}"
+            )
+        if isinstance(input_container, Matrix):
+            return self._call_matrix(input_container, out)
+        return self._call_vector(input_container, out)
+
+    def _call_vector(self, vector: Vector, out: Optional[Vector]):
+        distribution = self._resolve_distribution(vector)
+        chunks = vector.ensure_on_devices(distribution)
+        out_dtype = dtype_for_ctype(self.out_type)
+        if out is None:
+            out = Vector(vector.size, dtype=out_dtype)
+        out_chunks = out.prepare_as_output(Block() if distribution.kind == "overlap" else distribution)
+        program = self._program(self.vector_source(), f"skelcl_mapoverlap_{self.user.name}")
+        total = vector.size
+        for (in_chunk, in_buffer), (out_chunk, out_buffer) in zip(chunks, out_chunks):
+            n = in_chunk.owned_size
+            if n == 0:
+                continue
+            kernel = program.create_kernel("skelcl_mapoverlap_v")
+            kernel.set_args(in_buffer, out_buffer, n, in_chunk.owned_start, total,
+                            in_chunk.halo_before, in_chunk.stored_size)
+            global_size = round_up(n, _VEC_WG)
+            self._enqueue(in_chunk.device_index, kernel, (global_size,), (_VEC_WG,))
+        out.mark_written_on_devices()
+        return out
+
+    def _call_matrix(self, matrix: Matrix, out: Optional[Matrix]):
+        distribution = self._resolve_distribution(matrix)
+        chunks = matrix.ensure_on_devices(distribution)
+        out_dtype = dtype_for_ctype(self.out_type)
+        if out is None:
+            out = Matrix(matrix.shape, dtype=out_dtype)
+        out_chunks = out.prepare_as_output(Block() if distribution.kind == "overlap" else distribution)
+        program = self._program(self.matrix_source(), f"skelcl_mapoverlap_{self.user.name}")
+        width = matrix.cols
+        height = matrix.rows
+        for (in_chunk, in_buffer), (out_chunk, out_buffer) in zip(chunks, out_chunks):
+            rows = in_chunk.owned_size
+            if rows == 0:
+                continue
+            kernel = program.create_kernel("skelcl_mapoverlap_m")
+            kernel.set_args(in_buffer, out_buffer, width, height, in_chunk.owned_start,
+                            rows, in_chunk.halo_before, in_chunk.stored_size)
+            global_size = (round_up(width, _MAT_WG), round_up(rows, _MAT_WG))
+            self._enqueue(in_chunk.device_index, kernel, global_size, (_MAT_WG, _MAT_WG))
+        out.mark_written_on_devices()
+        return out

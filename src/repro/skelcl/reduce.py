@@ -1,0 +1,137 @@
+"""The Reduce skeleton: ``red (+) [v1..vn] = v1 + ... + vn`` (§3.3).
+
+Implemented in the classical two-stage GPU form:
+
+1. per device, a grid-stride pass accumulates elements into one partial
+   per work-item and a local-memory tree reduction produces one partial
+   per work-group;
+2. all partials are gathered on the first device and a single-work-group
+   launch of the same kernel folds them into the final value, which is
+   returned as a :class:`Scalar`.
+
+The customizing operator must be associative (the paper's requirement);
+``identity`` supplies its neutral element (default ``0``), used to pad
+inactive lanes.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .distribution import Block
+from .funcparse import scalar_param, scalar_return
+from .matrix import Matrix
+from .runtime import SkelCLError, get_runtime
+from .scalar import Scalar
+from .skeleton import DEFAULT_WORK_GROUP_SIZE, Skeleton
+from .vector import Vector
+
+_KERNEL_TEMPLATE = """\
+{user_source}
+
+__kernel void skelcl_reduce(__global const {t}* SCL_IN,
+                            __global {t}* SCL_OUT,
+                            const unsigned int SCL_N,
+                            const unsigned int SCL_OFFSET) {{
+    __local {t} SCL_SCRATCH[{wg}];
+    size_t SCL_LID = get_local_id(0);
+    {t} SCL_ACC = {identity};
+    for (size_t SCL_I = get_global_id(0); SCL_I < SCL_N; SCL_I += get_global_size(0)) {{
+        SCL_ACC = {func}(SCL_ACC, SCL_IN[SCL_I + SCL_OFFSET]);
+    }}
+    SCL_SCRATCH[SCL_LID] = SCL_ACC;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (unsigned int SCL_S = {wg} / 2; SCL_S > 0; SCL_S = SCL_S / 2) {{
+        if (SCL_LID < SCL_S) {{
+            SCL_SCRATCH[SCL_LID] = {func}(SCL_SCRATCH[SCL_LID], SCL_SCRATCH[SCL_LID + SCL_S]);
+        }}
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }}
+    if (SCL_LID == 0) {{
+        SCL_OUT[get_group_id(0)] = SCL_SCRATCH[0];
+    }}
+}}
+"""
+
+
+class Reduce(Skeleton):
+    def __init__(self, source: str, identity: str = "0",
+                 work_group_size: int = DEFAULT_WORK_GROUP_SIZE, max_groups: int = 64):
+        super().__init__(source)
+        if self.user.arity != 2:
+            raise SkelCLError("a Reduce customizing function needs exactly two parameters")
+        self.element_type = scalar_param(self.user, 0)
+        if scalar_param(self.user, 1) != self.element_type or scalar_return(self.user) != self.element_type:
+            raise SkelCLError("a Reduce operator must have type T (T, T)")
+        self.identity = identity
+        self.work_group_size = work_group_size
+        self.max_groups = max_groups
+
+    def kernel_source(self) -> str:
+        return _KERNEL_TEMPLATE.format(
+            user_source=self.user.source,
+            t=self.element_type.name,
+            func=self.user.name,
+            identity=self.identity,
+            wg=self.work_group_size,
+        )
+
+    def __call__(self, input_container: Union[Vector, Matrix]) -> Scalar:
+        self._begin_call()
+        runtime = get_runtime()
+        dtype = self.result_dtype(self.element_type)
+        if input_container.dtype != dtype:
+            raise SkelCLError(
+                f"Reduce input dtype {input_container.dtype} does not match {self.element_type}"
+            )
+        distribution = self.resolve_input_distribution(input_container, Block())
+        chunks = input_container.ensure_on_devices(distribution)
+        program = self._program(self.kernel_source(), f"skelcl_reduce_{self.user.name}")
+
+        unit_elements = input_container._unit_elements
+        itembytes = dtype.itemsize
+        wg = self.work_group_size
+
+        partials = []
+        seen_copy = False
+        for chunk, buffer in chunks:
+            n = chunk.owned_size * unit_elements
+            if n == 0:
+                continue
+            if distribution.kind == "copy":
+                if seen_copy:
+                    continue  # every device holds the same data; reduce once
+                seen_copy = True
+            groups = min(self.max_groups, (n + wg - 1) // wg)
+            queue = runtime.queue(chunk.device_index)
+            partial_buffer = runtime.context.create_buffer(
+                groups * itembytes, runtime.devices[chunk.device_index], name="reduce_partials"
+            )
+            kernel = program.create_kernel("skelcl_reduce")
+            kernel.set_args(buffer, partial_buffer, n, chunk.halo_before * unit_elements)
+            self._enqueue(chunk.device_index, kernel, (groups * wg,), (wg,))
+            data, _event = queue.enqueue_read_buffer(partial_buffer, dtype, groups)
+            partial_buffer.release()
+            partials.append(data)
+
+        if not partials:
+            raise SkelCLError("Reduce over an empty container")
+        gathered = np.concatenate(partials)
+        if len(gathered) == 1:
+            return Scalar(gathered[0], dtype)
+
+        # Final stage: fold all partials in a single work-group on device 0.
+        device0 = runtime.devices[0]
+        queue0 = runtime.queue(0)
+        in_buffer = runtime.context.create_buffer(gathered.nbytes, device0, name="reduce_stage2_in")
+        out_buffer = runtime.context.create_buffer(itembytes, device0, name="reduce_stage2_out")
+        queue0.enqueue_write_buffer(in_buffer, gathered)
+        kernel = program.create_kernel("skelcl_reduce")
+        kernel.set_args(in_buffer, out_buffer, len(gathered), 0)
+        self._enqueue(0, kernel, (wg,), (wg,))
+        result, _event = queue0.enqueue_read_buffer(out_buffer, dtype, 1)
+        in_buffer.release()
+        out_buffer.release()
+        return Scalar(result[0], dtype)

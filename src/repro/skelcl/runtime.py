@@ -1,0 +1,72 @@
+"""SkelCL runtime initialization (``SkelCL::init()`` in the paper).
+
+A process-wide singleton holds the simulated OpenCL context (one command
+queue per GPU).  Containers and skeletons created afterwards use it
+implicitly, mirroring the original library's global detail-hiding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .. import ocl
+
+
+class SkelCLError(Exception):
+    pass
+
+
+class SkelCLRuntime:
+    def __init__(self, spec: ocl.DeviceSpec, num_devices: int):
+        self.spec = spec
+        self.num_devices = num_devices
+        self.context = ocl.Context.create(spec, num_devices)
+
+    @property
+    def devices(self) -> List[ocl.Device]:
+        return self.context.devices
+
+    @property
+    def queues(self) -> List[ocl.CommandQueue]:
+        return self.context.queues
+
+    def queue(self, device_index: int) -> ocl.CommandQueue:
+        return self.context.queues[device_index]
+
+    def elapsed_ns(self) -> int:
+        return self.context.elapsed_ns()
+
+    def reset_timelines(self) -> None:
+        self.context.reset_timelines()
+
+
+_runtime: Optional[SkelCLRuntime] = None
+
+
+def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None) -> SkelCLRuntime:
+    """Initialize SkelCL on ``num_devices`` simulated GPUs.
+
+    Mirrors ``SkelCL::init()``; must be called before creating containers
+    or executing skeletons.  Calling it again replaces the runtime.
+    """
+    global _runtime
+    _runtime = SkelCLRuntime(spec if spec is not None else ocl.TESLA_T10, num_devices)
+    return _runtime
+
+
+def terminate() -> None:
+    """Release the runtime (``SkelCL::terminate()``)."""
+    global _runtime
+    if _runtime is not None:
+        _runtime.context.release()
+    _runtime = None
+
+
+def get_runtime() -> SkelCLRuntime:
+    if _runtime is None:
+        raise SkelCLError("SkelCL is not initialized; call skelcl.init() first")
+    return _runtime
+
+
+def is_initialized() -> bool:
+    return _runtime is not None

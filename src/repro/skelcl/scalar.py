@@ -1,0 +1,34 @@
+"""The ``Scalar<T>`` result wrapper (used by Reduce, cf. Listing 1.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Scalar:
+    """A single value returned by a skeleton (e.g. a reduction result)."""
+
+    def __init__(self, value, dtype=np.float32):
+        self._dtype = np.dtype(dtype)
+        self._value = self._dtype.type(value)
+
+    def get_value(self):
+        """The host value (``C.getValue()`` in the paper's listing)."""
+        return self._value.item()
+
+    @property
+    def value(self):
+        return self._value.item()
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    def __float__(self) -> float:
+        return float(self._value)
+
+    def __int__(self) -> int:
+        return int(self._value)
+
+    def __repr__(self) -> str:
+        return f"Scalar({self._value!r})"

@@ -1,0 +1,200 @@
+"""The Scan skeleton (inclusive prefix computation, §3.3)::
+
+    prefix_sum = Scan("float func(float x, float y) { return x + y; }")
+    result = prefix_sum(input_vector)
+
+Implementation: the classical three-phase GPU scan, run per device —
+
+1. each work-group performs a Hillis–Steele inclusive scan of its block
+   in local memory and emits its block total,
+2. the block totals are scanned (recursively, same kernel),
+3. every block (but the first) folds the preceding blocks' total into
+   its elements.
+
+Across devices, each device scans its block-distributed chunk; the
+per-device totals are scanned in a single tiny launch on device 0 and
+folded into the trailing devices' chunks — the inter-device pattern the
+paper's distribution mechanism makes implicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distribution import Block
+from .funcparse import scalar_param, scalar_return
+from .runtime import SkelCLError, get_runtime
+from .skeleton import Skeleton
+from .vector import Vector
+
+# Hillis-Steele uses one element per work-item; 256 matches the SkelCL
+# default work-group size.
+_SCAN_WG = 256
+
+_KERNEL_TEMPLATE = """\
+{user_source}
+
+__kernel void skelcl_scan_block(__global const {t}* SCL_IN,
+                                __global {t}* SCL_OUT,
+                                __global {t}* SCL_SUMS,
+                                const unsigned int SCL_N,
+                                const unsigned int SCL_OFFSET) {{
+    __local {t} SCL_BUF[{wg}];
+    size_t SCL_GID = get_global_id(0);
+    size_t SCL_LID = get_local_id(0);
+    {t} SCL_X = {identity};
+    if (SCL_GID < SCL_N) {{
+        SCL_X = SCL_IN[SCL_GID + SCL_OFFSET];
+    }}
+    SCL_BUF[SCL_LID] = SCL_X;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (unsigned int SCL_D = 1; SCL_D < {wg}; SCL_D = SCL_D * 2) {{
+        {t} SCL_T = SCL_BUF[SCL_LID];
+        if (SCL_LID >= SCL_D) {{
+            SCL_T = {func}(SCL_BUF[SCL_LID - SCL_D], SCL_T);
+        }}
+        barrier(CLK_LOCAL_MEM_FENCE);
+        SCL_BUF[SCL_LID] = SCL_T;
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }}
+    if (SCL_GID < SCL_N) {{
+        SCL_OUT[SCL_GID] = SCL_BUF[SCL_LID];
+    }}
+    if (SCL_LID == {wg} - 1) {{
+        SCL_SUMS[get_group_id(0)] = SCL_BUF[SCL_LID];
+    }}
+}}
+
+__kernel void skelcl_scan_add_blocks(__global {t}* SCL_OUT,
+                                     __global const {t}* SCL_SCANNED_SUMS,
+                                     const unsigned int SCL_N) {{
+    size_t SCL_GID = get_global_id(0);
+    size_t SCL_G = get_group_id(0);
+    if (SCL_G > 0 && SCL_GID < SCL_N) {{
+        SCL_OUT[SCL_GID] = {func}(SCL_SCANNED_SUMS[SCL_G - 1], SCL_OUT[SCL_GID]);
+    }}
+}}
+
+__kernel void skelcl_scan_add_offset(__global {t}* SCL_OUT,
+                                     const {t} SCL_OFF,
+                                     const unsigned int SCL_N) {{
+    size_t SCL_GID = get_global_id(0);
+    if (SCL_GID < SCL_N) {{
+        SCL_OUT[SCL_GID] = {func}(SCL_OFF, SCL_OUT[SCL_GID]);
+    }}
+}}
+"""
+
+
+class Scan(Skeleton):
+    def __init__(self, source: str, identity: str = "0"):
+        super().__init__(source)
+        if self.user.arity != 2:
+            raise SkelCLError("a Scan customizing function needs exactly two parameters")
+        self.element_type = scalar_param(self.user, 0)
+        if scalar_param(self.user, 1) != self.element_type or scalar_return(self.user) != self.element_type:
+            raise SkelCLError("a Scan operator must have type T (T, T)")
+        self.identity = identity
+
+    def kernel_source(self) -> str:
+        return _KERNEL_TEMPLATE.format(
+            user_source=self.user.source,
+            t=self.element_type.name,
+            func=self.user.name,
+            identity=self.identity,
+            wg=_SCAN_WG,
+        )
+
+    def __call__(self, input_vector: Vector, out: Vector = None) -> Vector:
+        self._begin_call()
+        if not isinstance(input_vector, Vector):
+            raise SkelCLError("Scan operates on vectors")
+        runtime = get_runtime()
+        dtype = self.result_dtype(self.element_type)
+        if input_vector.dtype != dtype:
+            raise SkelCLError(
+                f"Scan input dtype {input_vector.dtype} does not match {self.element_type}"
+            )
+        distribution = Block()  # scan requires ordered, disjoint chunks
+        chunks = input_vector.ensure_on_devices(distribution)
+        if out is None:
+            out = Vector(input_vector.size, dtype=dtype)
+        out_chunks = out.prepare_as_output(distribution)
+        program = self._program(self.kernel_source(), f"skelcl_scan_{self.user.name}")
+
+        # Phase A: scan each device's chunk independently.
+        for (in_chunk, in_buffer), (out_chunk, out_buffer) in zip(chunks, out_chunks):
+            n = in_chunk.owned_size
+            if n == 0:
+                continue
+            self._scan_on_device(program, in_chunk.device_index, in_buffer, out_buffer, n,
+                                 in_chunk.halo_before)
+
+        if len([c for c, _b in chunks if c.owned_size > 0]) > 1:
+            self._apply_device_offsets(program, out_chunks, dtype)
+        out.mark_written_on_devices()
+        return out
+
+    # -- single-device multi-block scan (recursive) -------------------------
+
+    def _scan_on_device(self, program, device_index: int, in_buffer, out_buffer,
+                        n: int, offset: int) -> None:
+        runtime = get_runtime()
+        dtype = self.result_dtype(self.element_type)
+        groups = (n + _SCAN_WG - 1) // _SCAN_WG
+        sums_buffer = runtime.context.create_buffer(
+            max(groups, 1) * dtype.itemsize, runtime.devices[device_index], name="scan_sums"
+        )
+        kernel = program.create_kernel("skelcl_scan_block")
+        kernel.set_args(in_buffer, out_buffer, sums_buffer, n, offset)
+        self._enqueue(device_index, kernel, (groups * _SCAN_WG,), (_SCAN_WG,))
+        if groups > 1:
+            scanned_sums = runtime.context.create_buffer(
+                groups * dtype.itemsize, runtime.devices[device_index], name="scan_sums_scanned"
+            )
+            self._scan_on_device(program, device_index, sums_buffer, scanned_sums, groups, 0)
+            add_kernel = program.create_kernel("skelcl_scan_add_blocks")
+            add_kernel.set_args(out_buffer, scanned_sums, n)
+            self._enqueue(device_index, add_kernel, (groups * _SCAN_WG,), (_SCAN_WG,))
+            scanned_sums.release()
+        sums_buffer.release()
+
+    # -- cross-device offsets --------------------------------------------------
+
+    def _apply_device_offsets(self, program, out_chunks, dtype) -> None:
+        runtime = get_runtime()
+        # Gather per-device totals (the last element of each scanned chunk).
+        totals = []
+        active = []
+        for chunk, buffer in out_chunks:
+            if chunk.owned_size == 0:
+                continue
+            queue = runtime.queue(chunk.device_index)
+            data, _event = queue.enqueue_read_buffer(
+                buffer, dtype, 1, (chunk.owned_size - 1) * dtype.itemsize
+            )
+            totals.append(data[0])
+            active.append((chunk, buffer))
+        if len(active) <= 1:
+            return
+        # Scan the totals with the user operator in one tiny launch.
+        device0 = runtime.devices[0]
+        queue0 = runtime.queue(0)
+        totals_array = np.asarray(totals, dtype=dtype)
+        tot_in = runtime.context.create_buffer(totals_array.nbytes, device0, name="scan_dev_totals")
+        tot_out = runtime.context.create_buffer(totals_array.nbytes, device0, name="scan_dev_offsets")
+        sums_scratch = runtime.context.create_buffer(dtype.itemsize, device0, name="scan_dev_sums")
+        queue0.enqueue_write_buffer(tot_in, totals_array)
+        kernel = program.create_kernel("skelcl_scan_block")
+        kernel.set_args(tot_in, tot_out, sums_scratch, len(totals), 0)
+        self._enqueue(0, kernel, (_SCAN_WG,), (_SCAN_WG,))
+        scanned, _event = queue0.enqueue_read_buffer(tot_out, dtype, len(totals))
+        for buffer in (tot_in, tot_out, sums_scratch):
+            buffer.release()
+        # Fold the preceding devices' total into each later chunk.
+        for position, (chunk, buffer) in enumerate(active[1:], start=1):
+            offset_value = scanned[position - 1]
+            add_kernel = program.create_kernel("skelcl_scan_add_offset")
+            add_kernel.set_args(buffer, offset_value, chunk.owned_size)
+            groups = (chunk.owned_size + _SCAN_WG - 1) // _SCAN_WG
+            self._enqueue(chunk.device_index, add_kernel, (groups * _SCAN_WG,), (_SCAN_WG,))

@@ -1,0 +1,148 @@
+"""Skeleton base class and shared kernel-source utilities (§3.3).
+
+A skeleton is a higher-order function: it is constructed with a
+customizing function (an OpenCL-C source string) and called with
+containers.  Calling a skeleton:
+
+1. resolves the input/output distributions (explicit or default),
+2. ensures input data is on the devices (implicit transfers),
+3. launches the generated kernel on every device owning a chunk,
+4. marks outputs device-resident (host copies update lazily).
+
+Generated kernel sources are deterministic strings, so the simulated
+OpenCL build cache makes repeated executions cheap — mirroring SkelCL's
+kernel caching.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import ocl
+from ..kernelc.ctypes_ import ScalarType
+from .distribution import Block, Distribution, Overlap
+from .funcparse import UserFunction, parse_user_function
+from .runtime import SkelCLError, get_runtime
+from .types_ import dtype_for_ctype
+
+# SkelCL's default work-group size (§4.1: "SkelCL uses its default
+# work-group size of 256").
+DEFAULT_WORK_GROUP_SIZE = 256
+
+
+def round_up(value: int, multiple: int) -> int:
+    if multiple <= 0:
+        return value
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def rename_function(source: str, old_name: str, new_name: str) -> str:
+    """Rename a function (and its uses) in an OpenCL-C source string."""
+    return re.sub(rf"\b{re.escape(old_name)}\b", new_name, source)
+
+
+def scalar_literal(value, ctype: ScalarType) -> str:
+    """An OpenCL-C literal of ``value`` at type ``ctype``."""
+    if ctype.is_float():
+        text = repr(float(value))
+        return f"{text}f" if ctype.name == "float" else text
+    return repr(int(value))
+
+
+class Skeleton:
+    """Base of all skeletons: program caching and launch helpers."""
+
+    def __init__(self, source: str):
+        self.user: UserFunction = parse_user_function(source)
+        self._programs: Dict[str, ocl.Program] = {}
+        self.last_events: List[ocl.Event] = []
+
+    # -- programs ------------------------------------------------------------
+
+    def _program(self, source: str, name: str) -> ocl.Program:
+        program = self._programs.get(source)
+        if program is None:
+            program = ocl.Program(source, name).build()
+            self._programs[source] = program
+        return program
+
+    # -- launches ---------------------------------------------------------------
+
+    def _record(self, event: ocl.Event) -> ocl.Event:
+        self.last_events.append(event)
+        return event
+
+    def _begin_call(self) -> None:
+        self.last_events = []
+
+    @property
+    def last_kernel_time_ns(self) -> int:
+        """Simulated kernel time of the most recent call: devices execute
+        concurrently, so this is the maximum over the per-device sums."""
+        by_device: Dict[int, int] = {}
+        for event in self.last_events:
+            device = event.info.get("device_index", 0)
+            by_device[device] = by_device.get(device, 0) + event.duration_ns
+        return max(by_device.values()) if by_device else 0
+
+    def _enqueue(
+        self,
+        device_index: int,
+        kernel: ocl.Kernel,
+        global_size,
+        local_size,
+        sample_fraction: Optional[float] = None,
+    ) -> ocl.Event:
+        runtime = get_runtime()
+        queue = runtime.queue(device_index)
+        event = queue.enqueue_nd_range_kernel(kernel, global_size, local_size, sample_fraction)
+        event.info["device_index"] = device_index
+        return self._record(event)
+
+    # -- distribution policy -------------------------------------------------------
+
+    @staticmethod
+    def output_distribution(input_distribution: Distribution) -> Distribution:
+        """Outputs follow the input's distribution; overlap inputs
+        produce block outputs (each device owns its block of results)."""
+        if isinstance(input_distribution, Overlap):
+            return Block()
+        return input_distribution
+
+    @staticmethod
+    def resolve_input_distribution(container, default: Distribution) -> Distribution:
+        return container.distribution if container.distribution is not None else default
+
+    # -- extra ("additional") arguments -----------------------------------------
+
+    def extra_param_source(self, extra_types: Sequence[ScalarType]) -> str:
+        parts = []
+        for index, ctype in enumerate(extra_types):
+            parts.append(f", const {ctype.name} SCL_EXTRA{index}")
+        return "".join(parts)
+
+    def extra_call_source(self, extra_types: Sequence[ScalarType]) -> str:
+        return "".join(f", SCL_EXTRA{index}" for index in range(len(extra_types)))
+
+    def check_extra_args(self, extra_types: Sequence[ScalarType], extra_args: Sequence) -> List:
+        if len(extra_args) != len(extra_types):
+            raise SkelCLError(
+                f"skeleton customized with {len(extra_types)} additional argument(s), "
+                f"called with {len(extra_args)}"
+            )
+        converted = []
+        for ctype, value in zip(extra_types, extra_args):
+            if isinstance(value, (bool, int, float, np.integer, np.floating)):
+                converted.append(value)
+            else:
+                raise SkelCLError(
+                    f"additional arguments must be scalars, got {type(value).__name__}"
+                )
+        return converted
+
+    @staticmethod
+    def result_dtype(ctype: ScalarType) -> np.dtype:
+        return dtype_for_ctype(ctype)

@@ -1,0 +1,89 @@
+"""The SkelCL ``Vector<T>`` container (§3.1).
+
+A one-dimensional contiguous collection transparently accessible from
+host code (indexing, iteration, numpy interop) and from skeletons on all
+GPUs, with implicit transfers.
+
+    vec = Vector(size)
+    for i in range(vec.size):
+        vec[i] = i
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .container import Container
+
+
+class Vector(Container):
+    def __init__(self, size: Optional[int] = None, dtype=np.float32, data=None, name: str = ""):
+        if data is not None:
+            host = np.ascontiguousarray(data).reshape(-1).copy()
+        elif size is not None:
+            host = np.zeros(int(size), dtype=np.dtype(dtype))
+        else:
+            raise ValueError("Vector needs a size or initial data")
+        super().__init__(host, units=len(host), unit_elements=1, name=name)
+
+    @staticmethod
+    def from_numpy(array: np.ndarray, name: str = "") -> "Vector":
+        return Vector(data=array, name=name)
+
+    # -- host access (implicit download / device invalidation) -------------
+
+    @property
+    def size(self) -> int:
+        return self._units
+
+    def __len__(self) -> int:
+        return self._units
+
+    def __getitem__(self, index):
+        self.ensure_host()
+        return self._host[index]
+
+    def __setitem__(self, index, value) -> None:
+        self.ensure_host()
+        self._host[index] = value
+        self.invalidate_devices()
+
+    def __iter__(self):
+        self.ensure_host()
+        return iter(self._host)
+
+    def fill(self, value) -> "Vector":
+        self.ensure_host()
+        self._host[:] = value
+        self.invalidate_devices()
+        return self
+
+    def assign(self, values: Iterable) -> "Vector":
+        self.ensure_host()
+        data = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                          dtype=self._host.dtype)
+        if data.size != self._units:
+            raise ValueError(f"assigning {data.size} values to a vector of size {self._units}")
+        self._host[:] = data
+        self.invalidate_devices()
+        return self
+
+    def to_numpy(self) -> np.ndarray:
+        self.ensure_host()
+        return self._host.copy()
+
+    def new_like(self, dtype=None, name: str = "") -> "Vector":
+        return Vector(self._units, dtype=dtype if dtype is not None else self._host.dtype, name=name)
+
+    def resized_copy(self, size: int) -> "Vector":
+        out = Vector(size, dtype=self._host.dtype)
+        self.ensure_host()
+        n = min(size, self._units)
+        out._host[:n] = self._host[:n]
+        return out
+
+    def __repr__(self) -> str:
+        dist = self._distribution.kind if self._distribution else "none"
+        return f"<Vector size={self._units} dtype={self._host.dtype} dist={dist}>"

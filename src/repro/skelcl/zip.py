@@ -1,0 +1,113 @@
+"""The Zip skeleton: elementwise combination of two containers (§3.3)::
+
+    add = Zip("float func(float x, float y) { return x + y; }")
+    result = add(left_vector, right_vector)
+
+Additional scalar arguments after the two elements are supported, as in
+Map.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .container import Container
+from .distribution import Block
+from .funcparse import scalar_param, scalar_return
+from .matrix import Matrix
+from .runtime import SkelCLError, get_runtime
+from .skeleton import DEFAULT_WORK_GROUP_SIZE, Skeleton, round_up
+from .vector import Vector
+
+_KERNEL_TEMPLATE = """\
+{user_source}
+
+__kernel void skelcl_zip(__global const {left_type}* SCL_LEFT,
+                         __global const {right_type}* SCL_RIGHT,
+                         __global {out_type}* SCL_OUT,
+                         const unsigned int SCL_N,
+                         const unsigned int SCL_LEFT_OFFSET,
+                         const unsigned int SCL_RIGHT_OFFSET{extra_params}) {{
+    size_t SCL_ID = get_global_id(0);
+    if (SCL_ID < SCL_N) {{
+        SCL_OUT[SCL_ID] = {func}(SCL_LEFT[SCL_ID + SCL_LEFT_OFFSET],
+                                 SCL_RIGHT[SCL_ID + SCL_RIGHT_OFFSET]{extra_call});
+    }}
+}}
+"""
+
+
+class Zip(Skeleton):
+    def __init__(self, source: str, work_group_size: int = DEFAULT_WORK_GROUP_SIZE):
+        super().__init__(source)
+        if self.user.arity < 2:
+            raise SkelCLError("a Zip customizing function needs at least two parameters")
+        self.left_type = scalar_param(self.user, 0)
+        self.right_type = scalar_param(self.user, 1)
+        self.out_type = scalar_return(self.user)
+        self.extra_types = [scalar_param(self.user, 2 + i) for i in range(self.user.arity - 2)]
+        self.work_group_size = work_group_size
+
+    def kernel_source(self) -> str:
+        return _KERNEL_TEMPLATE.format(
+            user_source=self.user.source,
+            left_type=self.left_type.name,
+            right_type=self.right_type.name,
+            out_type=self.out_type.name,
+            func=self.user.name,
+            extra_params=self.extra_param_source(self.extra_types),
+            extra_call=self.extra_call_source(self.extra_types),
+        )
+
+    def __call__(self, left: Union[Vector, Matrix], right: Union[Vector, Matrix],
+                 *extra_args, out: Optional[Container] = None):
+        self._begin_call()
+        runtime = get_runtime()
+        if type(left) is not type(right):
+            raise SkelCLError("Zip inputs must both be vectors or both be matrices")
+        left_size = left.shape if isinstance(left, Matrix) else left.size
+        right_size = right.shape if isinstance(right, Matrix) else right.size
+        if left_size != right_size:
+            raise SkelCLError(f"Zip inputs differ in size: {left_size} vs {right_size}")
+        if left.dtype != self.result_dtype(self.left_type):
+            raise SkelCLError(f"left input dtype {left.dtype} does not match {self.left_type}")
+        if right.dtype != self.result_dtype(self.right_type):
+            raise SkelCLError(f"right input dtype {right.dtype} does not match {self.right_type}")
+        extras = self.check_extra_args(self.extra_types, extra_args)
+
+        distribution = self.resolve_input_distribution(left, Block())
+        left_chunks = left.ensure_on_devices(distribution)
+        right_chunks = right.ensure_on_devices(distribution)
+
+        out_dtype = self.result_dtype(self.out_type)
+        if out is None:
+            if isinstance(left, Matrix):
+                out = Matrix(left.shape, dtype=out_dtype)
+            else:
+                out = Vector(left.size, dtype=out_dtype)
+        elif out.dtype != out_dtype:
+            raise SkelCLError(f"output container dtype {out.dtype} does not match {self.out_type}")
+        out_chunks = out.prepare_as_output(self.output_distribution(distribution))
+
+        program = self._program(self.kernel_source(), f"skelcl_zip_{self.user.name}")
+        unit_elements = left._unit_elements
+        for (l_chunk, l_buffer), (r_chunk, r_buffer), (o_chunk, o_buffer) in zip(
+            left_chunks, right_chunks, out_chunks
+        ):
+            n = l_chunk.owned_size * unit_elements
+            if n == 0:
+                continue
+            kernel = program.create_kernel("skelcl_zip")
+            kernel.set_args(
+                l_buffer,
+                r_buffer,
+                o_buffer,
+                n,
+                l_chunk.halo_before * unit_elements,
+                r_chunk.halo_before * unit_elements,
+                *extras,
+            )
+            global_size = round_up(n, self.work_group_size)
+            self._enqueue(l_chunk.device_index, kernel, (global_size,), (self.work_group_size,))
+        out.mark_written_on_devices()
+        return out

@@ -1,0 +1,187 @@
+"""Baseline implementation tests: correctness, CUDA translation, and the
+cost-structure properties Fig. 4/5 depend on."""
+
+import numpy as np
+import pytest
+
+from repro import ocl
+from repro.apps.images import sobel_reference_uchar, synthetic_image
+from repro.apps.mandelbrot import mandelbrot_reference
+from repro.baselines.cuda import CUDA_EFFICIENCY, CudaRuntime, cuda_to_opencl
+from repro.baselines.dotproduct_cl import DotProductOpenCL
+from repro.baselines.mandelbrot_cl import MandelbrotOpenCL
+from repro.baselines.mandelbrot_cuda import MandelbrotCuda
+from repro.baselines.sobel_amd import SobelAmd
+from repro.baselines.sobel_nvidia import SobelNvidia
+
+
+@pytest.fixture
+def ctx():
+    context = ocl.Context.create(ocl.TEST_DEVICE)
+    yield context
+    context.release()
+
+
+class TestCudaTranslation:
+    def test_kernel_qualifier(self):
+        out = cuda_to_opencl("__global__ void k(float* p) { }")
+        assert "__kernel void k(__global float* p)" in out
+
+    def test_thread_indexing(self):
+        out = cuda_to_opencl("int i = blockIdx.x * blockDim.x + threadIdx.x;")
+        assert out == "int i = get_group_id(0) * get_local_size(0) + get_local_id(0);"
+
+    def test_y_and_z_dimensions(self):
+        out = cuda_to_opencl("int j = threadIdx.y + threadIdx.z + gridDim.y;")
+        assert "get_local_id(1)" in out and "get_local_id(2)" in out and "get_num_groups(1)" in out
+
+    def test_shared_and_sync(self):
+        out = cuda_to_opencl("__shared__ float tile[16];\n__syncthreads();")
+        assert "__local float tile[16];" in out
+        assert "barrier(CLK_LOCAL_MEM_FENCE)" in out
+
+    def test_device_qualifier_removed(self):
+        out = cuda_to_opencl("__device__ float f(float x) { return x; }")
+        assert "__device__" not in out
+
+    def test_existing_address_space_untouched(self):
+        out = cuda_to_opencl("__global__ void k(__local float* p, int n) { }")
+        assert "__global __local" not in out
+
+    def test_translated_kernel_compiles(self):
+        from repro.kernelc import compile_source
+
+        source = cuda_to_opencl(
+            """__global__ void add(float* a, float* b, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) a[i] += b[i];
+            }"""
+        )
+        program = compile_source(source)
+        assert [k.name for k in program.kernels()] == ["add"]
+
+
+class TestCudaRuntime:
+    def test_efficiency_factor_applied(self):
+        runtime = CudaRuntime(ocl.TEST_DEVICE)
+        assert runtime.spec.efficiency == pytest.approx(ocl.TEST_DEVICE.efficiency * CUDA_EFFICIENCY)
+        runtime.release()
+
+    def test_memcpy_roundtrip(self):
+        runtime = CudaRuntime(ocl.TEST_DEVICE)
+        data = np.arange(32, dtype=np.float32)
+        buffer = runtime.malloc(data.nbytes)
+        runtime.memcpy_host_to_device(buffer, data)
+        out, _event = runtime.memcpy_device_to_host(buffer, np.float32, 32)
+        np.testing.assert_array_equal(out, data)
+        runtime.release()
+
+    def test_module_cache(self):
+        runtime = CudaRuntime(ocl.TEST_DEVICE)
+        src = "__global__ void k(int* p) { p[0] = 1; }"
+        assert runtime.load_module(src) is runtime.load_module(src)
+        runtime.release()
+
+
+class TestSobelBaselines:
+    def test_amd_interior_matches_reference(self, ctx):
+        image = synthetic_image(48, 48)
+        edges, _event = SobelAmd(ctx).run(image)
+        reference = sobel_reference_uchar(image)
+        np.testing.assert_array_equal(edges[1:-1, 1:-1], reference[1:-1, 1:-1])
+
+    def test_amd_borders_are_zero(self, ctx):
+        image = synthetic_image(32, 32)
+        edges, _event = SobelAmd(ctx).run(image)
+        assert edges[0].max() == 0 and edges[-1].max() == 0
+        assert edges[:, 0].max() == 0 and edges[:, -1].max() == 0
+
+    def test_nvidia_matches_reference_everywhere(self, ctx):
+        image = synthetic_image(48, 48)
+        edges, _event = SobelNvidia(ctx).run(image)
+        np.testing.assert_array_equal(edges, sobel_reference_uchar(image))
+
+    def test_nvidia_non_multiple_of_tile(self, ctx):
+        image = synthetic_image(40, 56)  # not multiples of 16
+        edges, _event = SobelNvidia(ctx).run(image)
+        np.testing.assert_array_equal(edges, sobel_reference_uchar(image))
+
+    def test_amd_does_many_more_global_loads(self, ctx):
+        """The structural fact behind Fig. 5: AMD ~9 global loads per
+        pixel, NVIDIA ~1.3 (tiled through local memory)."""
+        image = synthetic_image(64, 64)
+        _, amd_event = SobelAmd(ctx).run(image)
+        _, nvidia_event = SobelNvidia(ctx).run(image)
+        assert amd_event.info["global_loads"] > 5 * nvidia_event.info["global_loads"]
+        assert nvidia_event.info["local_loads"] > 0
+        assert amd_event.info["local_loads"] == 0
+
+    def test_amd_slower_than_nvidia_on_fermi(self):
+        # On the paper's 480-PE Tesla the AMD version is memory-bound
+        # through its 9 global loads per pixel (Fig. 5); the tiny test
+        # device is too compute-limited to show the gap.
+        fermi = ocl.Context.create(ocl.TESLA_FERMI_480)
+        image = synthetic_image(128, 128)
+        _, amd_event = SobelAmd(fermi).run(image)
+        _, nvidia_event = SobelNvidia(fermi).run(image)
+        assert amd_event.duration_ns > 1.5 * nvidia_event.duration_ns
+        fermi.release()
+
+
+class TestMandelbrotBaselines:
+    def test_opencl_matches_reference(self, ctx):
+        image, _event = MandelbrotOpenCL(ctx).run(64, 48, 30)
+        reference = mandelbrot_reference(64, 48, 30)
+        mismatch = np.count_nonzero(image != reference) / image.size
+        assert mismatch < 0.02
+
+    def test_cuda_and_opencl_agree_exactly(self, ctx):
+        cl_image, _ = MandelbrotOpenCL(ctx).run(64, 48, 25)
+        runtime = CudaRuntime(ocl.TEST_DEVICE)
+        cu_image, _ = MandelbrotCuda(runtime).run(64, 48, 25)
+        np.testing.assert_array_equal(cl_image, cu_image)
+        runtime.release()
+
+    def test_cuda_faster_than_opencl(self, ctx):
+        _, cl_event = MandelbrotOpenCL(ctx).run(128, 96, 40)
+        runtime = CudaRuntime(ocl.TEST_DEVICE)
+        _, cu_event = MandelbrotCuda(runtime).run(128, 96, 40)
+        ratio = cu_event.duration_ns / cl_event.duration_ns
+        assert 0.6 < ratio < 0.95  # ~1/1.3 with overheads
+        runtime.release()
+
+    def test_non_multiple_sizes(self, ctx):
+        image, _ = MandelbrotOpenCL(ctx).run(50, 34, 20)
+        assert image.shape == (34, 50)
+
+
+class TestDotProductBaseline:
+    def test_matches_numpy(self, ctx, rng):
+        a = rng.rand(10000).astype(np.float32)
+        b = rng.rand(10000).astype(np.float32)
+        value, _event = DotProductOpenCL(ctx).run(a, b)
+        assert value == pytest.approx(float(np.dot(a, b)), rel=1e-4)
+
+    def test_small_input(self, ctx):
+        a = np.array([1.0, 2.0], np.float32)
+        b = np.array([3.0, 4.0], np.float32)
+        value, _event = DotProductOpenCL(ctx).run(a, b)
+        assert value == pytest.approx(11.0)
+
+    def test_size_mismatch_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            DotProductOpenCL(ctx).run(np.zeros(4, np.float32), np.zeros(5, np.float32))
+
+    def test_agrees_with_skelcl_dotproduct(self, ctx, rng):
+        import repro.skelcl as skelcl
+        from repro.apps.dotproduct import DotProduct
+
+        a = rng.rand(2048).astype(np.float32)
+        b = rng.rand(2048).astype(np.float32)
+        cl_value, _ = DotProductOpenCL(ctx).run(a, b)
+        skelcl.init(2, ocl.TEST_DEVICE)
+        try:
+            skelcl_value = DotProduct().compute(a, b)
+        finally:
+            skelcl.terminate()
+        assert cl_value == pytest.approx(skelcl_value, rel=1e-4)

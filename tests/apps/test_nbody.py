@@ -1,0 +1,91 @@
+"""N-body application tests (skeleton force evaluation vs numpy)."""
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.apps.nbody import (
+    NBodySimulation,
+    NBodyState,
+    accelerations_reference,
+    plummer_sphere,
+)
+
+
+class TestForces:
+    def test_accelerations_match_reference(self, runtime_2gpu):
+        state = plummer_sphere(24)
+        sim = NBodySimulation(state, softening=0.05)
+        acc = sim.accelerations()
+        expected = accelerations_reference(sim.state, 0.05)
+        np.testing.assert_allclose(acc, expected, rtol=2e-3, atol=2e-4)
+
+    def test_two_body_symmetry(self, runtime_1gpu):
+        state = NBodyState(
+            positions=np.array([[-1, 0, 0], [1, 0, 0]], np.float32),
+            velocities=np.zeros((2, 3), np.float32),
+            masses=np.array([1.0, 1.0], np.float32),
+        )
+        sim = NBodySimulation(state, softening=0.01)
+        acc = sim.accelerations()
+        # Equal masses: opposite accelerations along x, none along y/z.
+        np.testing.assert_allclose(acc[0], -acc[1], atol=1e-5)
+        assert acc[0, 0] > 0 and acc[1, 0] < 0
+        np.testing.assert_allclose(acc[:, 1:], 0.0, atol=1e-5)
+
+    def test_heavier_body_accelerates_less(self, runtime_1gpu):
+        state = NBodyState(
+            positions=np.array([[-1, 0, 0], [1, 0, 0]], np.float32),
+            velocities=np.zeros((2, 3), np.float32),
+            masses=np.array([10.0, 1.0], np.float32),
+        )
+        sim = NBodySimulation(state, softening=0.01)
+        acc = sim.accelerations()
+        assert abs(acc[0, 0]) < abs(acc[1, 0])
+
+    def test_self_interaction_excluded_by_softening(self, runtime_1gpu):
+        # A single body must not accelerate.
+        state = NBodyState(
+            positions=np.zeros((1, 3), np.float32),
+            velocities=np.zeros((1, 3), np.float32),
+            masses=np.array([5.0], np.float32),
+        )
+        acc = NBodySimulation(state).accelerations()
+        np.testing.assert_allclose(acc, 0.0, atol=1e-6)
+
+
+class TestIntegration:
+    def test_energy_drift_bounded(self, runtime_1gpu):
+        sim = NBodySimulation(plummer_sphere(16), softening=0.1)
+        initial = sim.total_energy()
+        sim.run(steps=20, dt=0.01)
+        final = sim.total_energy()
+        scale = abs(initial) if initial != 0 else 1.0
+        assert abs(final - initial) / scale < 0.05  # leapfrog: small drift
+
+    def test_momentum_approximately_conserved(self, runtime_1gpu):
+        sim = NBodySimulation(plummer_sphere(12), softening=0.1)
+        masses = sim.state.masses[:, None]
+        initial = (masses * sim.state.velocities).sum(axis=0)
+        sim.run(steps=10, dt=0.01)
+        final = (masses * sim.state.velocities).sum(axis=0)
+        np.testing.assert_allclose(final, initial, atol=5e-4)
+
+    def test_multi_gpu_matches_single_gpu(self):
+        results = []
+        for devices in (1, 2):
+            skelcl.init(devices, ocl.TEST_DEVICE)
+            sim = NBodySimulation(plummer_sphere(10), softening=0.1)
+            sim.run(steps=3, dt=0.02)
+            results.append(sim.state.positions.copy())
+            skelcl.terminate()
+        np.testing.assert_allclose(results[0], results[1], rtol=1e-5, atol=1e-6)
+
+    def test_deterministic(self, runtime_1gpu):
+        runs = []
+        for _ in range(2):
+            sim = NBodySimulation(plummer_sphere(8), softening=0.1)
+            sim.run(steps=2, dt=0.02)
+            runs.append(sim.state.positions.copy())
+        np.testing.assert_array_equal(runs[0], runs[1])

@@ -1,0 +1,43 @@
+"""Shared fixtures: SkelCL runtimes on small simulated devices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+from repro import ocl
+
+
+@pytest.fixture
+def rng():
+    return np.random.RandomState(12345)
+
+
+@pytest.fixture
+def runtime_1gpu():
+    runtime = skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE)
+    yield runtime
+    skelcl.terminate()
+
+
+@pytest.fixture
+def runtime_2gpu():
+    runtime = skelcl.init(num_devices=2, spec=ocl.TEST_DEVICE)
+    yield runtime
+    skelcl.terminate()
+
+
+@pytest.fixture
+def runtime_4gpu():
+    runtime = skelcl.init(num_devices=4, spec=ocl.TEST_DEVICE)
+    yield runtime
+    skelcl.terminate()
+
+
+@pytest.fixture(params=[1, 2, 3, 4])
+def runtime_multi(request):
+    """Parametrized over 1-4 simulated GPUs."""
+    runtime = skelcl.init(num_devices=request.param, spec=ocl.TEST_DEVICE)
+    yield runtime
+    skelcl.terminate()

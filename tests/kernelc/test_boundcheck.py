@@ -1,0 +1,163 @@
+"""Static bounds analysis tests (the paper's §3.4 future work)."""
+
+import pytest
+
+from repro.kernelc.boundcheck import Interval, analyze_get_bounds
+from repro.kernelc.parser import parse
+
+
+def analyze(source: str, overlap: int):
+    program = parse(source)
+    return analyze_get_bounds(program.functions[-1], overlap)
+
+
+class TestInterval:
+    def test_const(self):
+        i = Interval.const(3)
+        assert i.lo == i.hi == 3
+        assert not i.is_top
+
+    def test_arithmetic(self):
+        a = Interval(-1, 2)
+        b = Interval(0, 3)
+        assert (a + b) == Interval(-1, 5)
+        assert (a - b) == Interval(-4, 2)
+        assert (-a) == Interval(-2, 1)
+
+    def test_multiplication_corners(self):
+        assert Interval(-2, 3) * Interval(-1, 4) == Interval(-8, 12)
+
+    def test_top_propagates(self):
+        assert (Interval.top() + Interval.const(1)).is_top
+        assert (Interval.top() * Interval.const(0)).is_top  # conservative
+
+    def test_join(self):
+        assert Interval(-1, 0).join(Interval(2, 5)) == Interval(-1, 5)
+
+    def test_within(self):
+        assert Interval(-1, 1).within(-1, 1)
+        assert not Interval(-2, 1).within(-1, 1)
+
+
+class TestProofs:
+    def test_constant_offsets_proven(self):
+        proof = analyze("float f(float* m) { return get(m, -1, 1) + get(m, 0, 0); }", 1)
+        assert proof.proven
+
+    def test_constant_offset_too_large_rejected(self):
+        proof = analyze("float f(float* m) { return get(m, 2, 0); }", 1)
+        assert not proof.proven
+
+    def test_negative_offset_too_large_rejected(self):
+        assert not analyze("float f(float* m) { return get(m, -3, 0); }", 2).proven
+
+    def test_vector_get_single_offset(self):
+        assert analyze("float f(float* v) { return get(v, -1) + get(v, 1); }", 1).proven
+
+    def test_for_loop_bounds_inclusive(self):
+        source = """
+        float f(float* m) {
+            float s = 0.0f;
+            for (int i = -1; i <= 1; ++i) s += get(m, i, 0);
+            return s;
+        }"""
+        assert analyze(source, 1).proven
+        assert not analyze(source, 0).proven
+
+    def test_for_loop_strict_bound(self):
+        source = """
+        float f(float* m) {
+            float s = 0.0f;
+            for (int i = -1; i < 2; ++i) s += get(m, 0, i);
+            return s;
+        }"""
+        assert analyze(source, 1).proven
+
+    def test_nested_loops(self):
+        source = """
+        float f(float* m) {
+            float s = 0.0f;
+            for (int i = -1; i <= 1; ++i)
+                for (int j = -1; j <= 1; ++j)
+                    s += get(m, i, j);
+            return s;
+        }"""
+        assert analyze(source, 1).proven
+
+    def test_loop_with_step(self):
+        source = """
+        float f(float* m) {
+            float s = 0.0f;
+            for (int i = -2; i <= 2; i += 2) s += get(m, i, 0);
+            return s;
+        }"""
+        assert analyze(source, 2).proven
+
+    def test_arithmetic_on_induction_variable(self):
+        source = """
+        float f(float* m) {
+            float s = 0.0f;
+            for (int i = 0; i <= 2; ++i) s += get(m, i - 1, 0);
+            return s;
+        }"""
+        assert analyze(source, 1).proven
+
+    def test_unknown_variable_rejected(self):
+        source = """
+        float f(float* m, int k) { return get(m, k, 0); }"""
+        assert not analyze(source, 1).proven
+
+    def test_variable_reassigned_in_while_rejected(self):
+        source = """
+        float f(float* m) {
+            int i = 0;
+            while (i < 1) { ++i; }
+            return get(m, i, 0);
+        }"""
+        assert not analyze(source, 1).proven
+
+    def test_constant_propagation_through_locals(self):
+        source = """
+        float f(float* m) {
+            int left = -1;
+            int right = 1;
+            return get(m, left, 0) + get(m, right, 0);
+        }"""
+        assert analyze(source, 1).proven
+
+    def test_branch_join(self):
+        source = """
+        float f(float* m, int c) {
+            int off = 0;
+            if (c) { off = 1; } else { off = -1; }
+            return get(m, off, 0);
+        }"""
+        assert analyze(source, 1).proven
+        assert not analyze(source, 0).proven
+
+    def test_reassignment_after_branch_uses_join(self):
+        source = """
+        float f(float* m, int c) {
+            int off = 5;
+            if (c) { off = 0; }
+            return get(m, off, 0);
+        }"""
+        assert not analyze(source, 1).proven
+
+    def test_no_get_calls_trivially_proven(self):
+        assert analyze("float f(float x) { return x; }", 1).proven
+
+    def test_descending_loop_not_matched_but_safe(self):
+        # Descending loops are not pattern-matched: the analysis must
+        # conservatively reject, never wrongly prove.
+        source = """
+        float f(float* m) {
+            float s = 0.0f;
+            for (int i = 1; i >= -1; --i) s += get(m, i, 0);
+            return s;
+        }"""
+        assert not analyze(source, 1).proven
+
+    def test_ternary_offset(self):
+        source = "float f(float* m, int c) { return get(m, c ? 1 : -1, 0); }"
+        assert analyze(source, 1).proven

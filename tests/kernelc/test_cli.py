@@ -1,0 +1,75 @@
+"""Tests for the ``python -m repro.kernelc`` command-line driver."""
+
+import io
+import sys
+
+import pytest
+
+from repro.kernelc.__main__ import main
+
+VALID = """
+__kernel void add_one(__global int* data, int n) {
+    int gid = get_global_id(0);
+    if (gid < n) data[gid] += 1;
+}
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "kernel.cl"
+    path.write_text(VALID)
+    return str(path)
+
+
+class TestCli:
+    def test_reports_kernels(self, kernel_file, capsys):
+        assert main([kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "add_one" in out and "OK" in out
+
+    def test_compile_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cl"
+        bad.write_text("__kernel void k() { undeclared(); }")
+        assert main([str(bad)]) == 1
+        assert "undeclared" in capsys.readouterr().err
+
+    def test_pretty_print_roundtrips(self, kernel_file, capsys):
+        assert main([kernel_file, "--print"]) == 0
+        printed = capsys.readouterr().out
+        from repro.kernelc import compile_source
+
+        assert [k.name for k in compile_source(printed).kernels()] == ["add_one"]
+
+    def test_ast_dump(self, kernel_file, capsys):
+        assert main([kernel_file, "--ast"]) == 0
+        out = capsys.readouterr().out
+        assert "FunctionDef" in out and "BinaryOp" in out
+
+    def test_python_output(self, kernel_file, capsys):
+        assert main([kernel_file, "--python"]) == 0
+        out = capsys.readouterr().out
+        assert "def _fn_add_one" in out
+
+    def test_defines(self, tmp_path, capsys):
+        path = tmp_path / "k.cl"
+        path.write_text("#ifdef FAST\n__kernel void fast(__global int* o) { o[0] = 1; }\n#endif\n"
+                        "__kernel void base(__global int* o) { o[0] = 0; }")
+        assert main([str(path), "-D", "FAST"]) == 0
+        assert "fast" in capsys.readouterr().out
+
+    def test_stdin(self, monkeypatch, capsys):
+        monkeypatch.setattr(sys, "stdin", io.StringIO(VALID))
+        assert main(["-"]) == 0
+        assert "add_one" in capsys.readouterr().out
+
+    def test_barrier_flag_reported(self, tmp_path, capsys):
+        path = tmp_path / "b.cl"
+        path.write_text("""__kernel void k(__global int* o) {
+            __local int t[4];
+            t[get_local_id(0)] = 1;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            o[0] = t[0];
+        }""")
+        assert main([str(path)]) == 0
+        assert "uses barriers" in capsys.readouterr().out

@@ -1,0 +1,119 @@
+"""Whole-grid differential fuzzing: multi-work-item kernels with
+gid-dependent control flow and memory writes, compared across backends
+and against a Python oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from .helpers import run_both
+
+
+class TestGridKernels:
+    @given(
+        n=st.sampled_from([8, 16, 32]),
+        local=st.sampled_from([4, 8]),
+        a=st.integers(-5, 5),
+        b=st.integers(-5, 5),
+        threshold=st.integers(0, 31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_branchy_elementwise(self, n, local, a, b, threshold):
+        src = f"""__kernel void k(__global const int* in, __global int* out, int n) {{
+            int gid = get_global_id(0);
+            if (gid >= n) return;
+            int x = in[gid];
+            int y;
+            if (gid < {threshold}) {{
+                y = x * {a};
+            }} else {{
+                y = x + {b};
+            }}
+            out[gid] = y;
+        }}"""
+        data = np.arange(n, dtype=np.int32) - n // 2
+        arrays = {"in": data, "out": np.zeros(n, np.int32)}
+        (c_res, _), (i_res, _) = run_both(src, "k", arrays, ["in", "out", n], n, local)
+        np.testing.assert_array_equal(c_res["out"], i_res["out"])
+        expected = np.where(np.arange(n) < threshold, data * a, data + b)
+        np.testing.assert_array_equal(c_res["out"], expected)
+
+    @given(
+        n=st.sampled_from([8, 16]),
+        shift=st.integers(1, 7),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_neighbour_reads(self, n, shift):
+        # Each item reads a shifted neighbour (mod n) — no data races,
+        # all reads from the input buffer.
+        src = f"""__kernel void k(__global const int* in, __global int* out, int n) {{
+            int gid = get_global_id(0);
+            if (gid < n) {{
+                out[gid] = in[(gid + {shift}) % n] - in[gid];
+            }}
+        }}"""
+        data = (np.arange(n, dtype=np.int32) ** 2) % 17
+        arrays = {"in": data, "out": np.zeros(n, np.int32)}
+        (c_res, _), (i_res, _) = run_both(src, "k", arrays, ["in", "out", n], n, min(n, 8))
+        np.testing.assert_array_equal(c_res["out"], i_res["out"])
+        expected = np.roll(data, -shift) - data
+        np.testing.assert_array_equal(c_res["out"], expected)
+
+    @given(values=st.lists(st.integers(0, 50), min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_group_histogram_via_local_memory(self, values):
+        # Each group builds a 4-bin histogram of its 8 items in local
+        # memory using one writer lane per bin (race-free by construction).
+        src = """__kernel void k(__global const int* in, __global int* out) {
+            __local int bins[4];
+            int lid = get_local_id(0);
+            if (lid < 4) { bins[lid] = 0; }
+            barrier(CLK_LOCAL_MEM_FENCE);
+            if (lid < 4) {
+                int count = 0;
+                for (int i = 0; i < 8; ++i) {
+                    int value = in[get_group_id(0) * 8 + i];
+                    if (value % 4 == lid) { ++count; }
+                }
+                bins[lid] = count;
+            }
+            barrier(CLK_LOCAL_MEM_FENCE);
+            if (lid < 4) {
+                out[get_group_id(0) * 4 + lid] = bins[lid];
+            }
+        }"""
+        data = np.array(values, np.int32)
+        arrays = {"in": data, "out": np.zeros(8, np.int32)}
+        (c_res, _), (i_res, _) = run_both(src, "k", arrays, ["in", "out"], 16, 8)
+        np.testing.assert_array_equal(c_res["out"], i_res["out"])
+        for group in range(2):
+            chunk = data[group * 8 : group * 8 + 8]
+            for bin_index in range(4):
+                assert c_res["out"][group * 4 + bin_index] == np.count_nonzero(chunk % 4 == bin_index)
+
+    @given(
+        rounds=st.integers(1, 4),
+        seedval=st.integers(0, 1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_iterated_local_shuffle(self, rounds, seedval):
+        # Repeated barrier phases: rotate values through local memory.
+        src = f"""__kernel void k(__global const int* in, __global int* out) {{
+            __local int buf[8];
+            int lid = get_local_id(0);
+            buf[lid] = in[lid];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            for (int r = 0; r < {rounds}; ++r) {{
+                int next = buf[(lid + 1) % 8];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                buf[lid] = next;
+                barrier(CLK_LOCAL_MEM_FENCE);
+            }}
+            out[lid] = buf[lid];
+        }}"""
+        rng = np.random.RandomState(seedval)
+        data = rng.randint(-100, 100, 8).astype(np.int32)
+        arrays = {"in": data, "out": np.zeros(8, np.int32)}
+        (c_res, _), (i_res, _) = run_both(src, "k", arrays, ["in", "out"], 8, 8)
+        np.testing.assert_array_equal(c_res["out"], i_res["out"])
+        np.testing.assert_array_equal(c_res["out"], np.roll(data, -rounds))

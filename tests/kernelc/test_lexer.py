@@ -1,0 +1,192 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.kernelc.diagnostics import CompileError
+from repro.kernelc.lexer import tokenize
+from repro.kernelc.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (tok,) = tokenize("my_var123")[:-1]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "my_var123"
+
+    def test_keywords_are_not_identifiers(self):
+        (tok,) = tokenize("while")[:-1]
+        assert tok.kind is TokenKind.KEYWORD
+
+    def test_address_space_keywords(self):
+        assert kinds("__global __local __constant __private") == [TokenKind.KEYWORD] * 4
+
+    def test_unprefixed_address_space_keywords(self):
+        assert kinds("global local constant") == [TokenKind.KEYWORD] * 3
+
+    def test_vector_type_name_lexes_as_identifier(self):
+        (tok,) = tokenize("float4")[:-1]
+        assert tok.kind is TokenKind.IDENT
+
+    def test_whitespace_and_newlines_skipped(self):
+        assert texts("a \t\n b\r\n c") == ["a", "b", "c"]
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        (tok,) = tokenize("42")[:-1]
+        assert tok.kind is TokenKind.INT_LITERAL
+        assert tok.value == 42
+
+    def test_hex_int(self):
+        (tok,) = tokenize("0xFF")[:-1]
+        assert tok.value == 255
+
+    def test_octal_int(self):
+        (tok,) = tokenize("0755")[:-1]
+        assert tok.value == 0o755
+
+    def test_zero_is_not_octal_error(self):
+        (tok,) = tokenize("0")[:-1]
+        assert tok.value == 0
+
+    def test_unsigned_suffix(self):
+        (tok,) = tokenize("42u")[:-1]
+        assert tok.suffix == "u"
+        assert tok.value == 42
+
+    def test_long_suffixes(self):
+        (tok,) = tokenize("42UL")[:-1]
+        assert tok.suffix == "ul"
+
+    def test_simple_float(self):
+        (tok,) = tokenize("3.25")[:-1]
+        assert tok.kind is TokenKind.FLOAT_LITERAL
+        assert tok.value == 3.25
+
+    def test_float_f_suffix(self):
+        (tok,) = tokenize("1.5f")[:-1]
+        assert tok.suffix == "f"
+
+    def test_float_exponent(self):
+        (tok,) = tokenize("1e3")[:-1]
+        assert tok.kind is TokenKind.FLOAT_LITERAL
+        assert tok.value == 1000.0
+
+    def test_float_negative_exponent(self):
+        (tok,) = tokenize("2.5e-2")[:-1]
+        assert tok.value == pytest.approx(0.025)
+
+    def test_leading_dot_float(self):
+        (tok,) = tokenize(".5")[:-1]
+        assert tok.kind is TokenKind.FLOAT_LITERAL
+        assert tok.value == 0.5
+
+    def test_int_then_member_not_float(self):
+        # `4.x` would be nonsense; but `a.x` after int: "4 . x"? We only
+        # check that `1..2` doesn't crash the float path via '..'.
+        toks = texts("a.x")
+        assert toks == ["a", ".", "x"]
+
+    def test_hex_without_digits_is_error(self):
+        with pytest.raises(CompileError):
+            tokenize("0x")
+
+
+class TestCharAndString:
+    def test_char_literal(self):
+        (tok,) = tokenize("'A'")[:-1]
+        assert tok.kind is TokenKind.CHAR_LITERAL
+        assert tok.value == 65
+
+    def test_char_escape(self):
+        (tok,) = tokenize(r"'\n'")[:-1]
+        assert tok.value == 10
+
+    def test_hex_escape(self):
+        (tok,) = tokenize(r"'\x41'")[:-1]
+        assert tok.value == 0x41
+
+    def test_unterminated_char_is_error(self):
+        with pytest.raises(CompileError):
+            tokenize("'a")
+
+    def test_string_literal(self):
+        (tok,) = tokenize('"hello"')[:-1]
+        assert tok.kind is TokenKind.STRING_LITERAL
+        assert tok.value == "hello"
+
+    def test_string_with_escapes(self):
+        (tok,) = tokenize(r'"a\tb"')[:-1]
+        assert tok.value == "a\tb"
+
+    def test_unterminated_string_is_error(self):
+        with pytest.raises(CompileError):
+            tokenize('"abc')
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_is_error(self):
+        with pytest.raises(CompileError):
+            tokenize("a /* never ends")
+
+    def test_comment_containing_string_quote(self):
+        assert texts("a // it's fine\nb") == ["a", "b"]
+
+
+class TestPunctuators:
+    def test_maximal_munch_shift_assign(self):
+        assert texts("a <<= b") == ["a", "<<=", "b"]
+
+    def test_maximal_munch_increment(self):
+        assert texts("a+++b") == ["a", "++", "+", "b"]
+
+    def test_arrow_and_minus(self):
+        assert texts("a->b - c") == ["a", "->", "b", "-", "c"]
+
+    def test_all_compound_assignments(self):
+        ops = ["+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="]
+        for op in ops:
+            assert texts(f"a {op} b")[1] == op
+
+    def test_comparison_operators(self):
+        assert texts("a <= b >= c == d != e") == ["a", "<=", "b", ">=", "c", "==", "d", "!=", "e"]
+
+    def test_unknown_character_is_error(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+
+class TestSpans:
+    def test_token_spans_point_into_source(self):
+        tokens = tokenize("ab + cd")
+        assert tokens[0].span.start.column == 1
+        assert tokens[1].span.start.column == 4
+        assert tokens[2].span.start.column == 6
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.span.start.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_true_false_become_int_literals(self):
+        toks = tokenize("true false")[:-1]
+        assert [t.value for t in toks] == [1, 0]
+        assert all(t.kind is TokenKind.INT_LITERAL for t in toks)

@@ -1,0 +1,287 @@
+"""Parser unit tests: AST shape and error recovery."""
+
+import pytest
+
+from repro.kernelc import ast
+from repro.kernelc.ctypes_ import ArrayType, FLOAT, INT, PointerType, UINT, VectorType
+from repro.kernelc.diagnostics import CompileError
+from repro.kernelc.parser import parse
+
+
+def first_fn(source: str) -> ast.FunctionDef:
+    return parse(source).functions[0]
+
+
+def body_stmts(source: str):
+    return first_fn(source).body.statements
+
+
+class TestFunctions:
+    def test_simple_function(self):
+        fn = first_fn("int f(int x) { return x; }")
+        assert fn.name == "f"
+        assert fn.return_type == INT
+        assert len(fn.params) == 1
+        assert fn.params[0].name == "x"
+        assert not fn.is_kernel
+
+    def test_kernel_qualifier(self):
+        fn = first_fn("__kernel void k() { }")
+        assert fn.is_kernel
+        assert fn.return_type.is_void()
+
+    def test_unprefixed_kernel_qualifier(self):
+        assert first_fn("kernel void k() { }").is_kernel
+
+    def test_void_parameter_list(self):
+        fn = first_fn("int f(void) { return 1; }")
+        assert fn.params == []
+
+    def test_global_pointer_param(self):
+        fn = first_fn("void f(__global const float* p) { }")
+        ctype = fn.params[0].declared_type
+        assert isinstance(ctype, PointerType)
+        assert ctype.pointee == FLOAT
+        assert ctype.address_space == "global"
+        assert ctype.is_const
+
+    def test_unsigned_int_spelling(self):
+        fn = first_fn("void f(unsigned int n) { }")
+        assert fn.params[0].declared_type == UINT
+
+    def test_plain_unsigned_is_uint(self):
+        fn = first_fn("void f(unsigned n) { }")
+        assert fn.params[0].declared_type == UINT
+
+    def test_vector_type_param(self):
+        fn = first_fn("void f(float4 v) { }")
+        assert fn.params[0].declared_type == VectorType(FLOAT, 4)
+
+    def test_array_param_decays_to_pointer(self):
+        fn = first_fn("void f(float a[10]) { }")
+        assert isinstance(fn.params[0].declared_type, PointerType)
+
+    def test_prototype_collected_separately(self):
+        program = parse("int f(int x);\nint f(int x) { return x; }")
+        assert len(program.functions) == 1
+        assert len(program.prototypes) == 1
+
+    def test_multiple_functions(self):
+        program = parse("int f() { return 1; } int g() { return f(); }")
+        assert [fn.name for fn in program.functions] == ["f", "g"]
+
+    def test_attribute_parsed_and_recorded(self):
+        fn = first_fn('__kernel __attribute__((reqd_work_group_size(16, 16, 1))) void k() { }')
+        assert fn.is_kernel
+        assert fn.attributes
+
+    def test_constant_global_declaration(self):
+        program = parse("__constant float PI = 3.14f;\nvoid f() { }")
+        assert len(program.globals) == 1
+        assert program.globals[0].decl.name == "PI"
+
+    def test_constant_global_array(self):
+        program = parse("__constant int W[3] = {1, 2, 3};\nvoid f() { }")
+        decl = program.globals[0].decl
+        assert isinstance(decl.declared_type, ArrayType)
+        assert decl.declared_type.length == 3
+
+    def test_file_scope_non_constant_rejected(self):
+        with pytest.raises(CompileError):
+            parse("float x = 1.0f;")
+
+    def test_struct_rejected(self):
+        with pytest.raises(CompileError):
+            parse("struct S { int x; };")
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        (stmt,) = body_stmts("void f() { int x = 3; }")
+        assert isinstance(stmt, ast.DeclStmt)
+        assert stmt.decls[0].name == "x"
+        assert isinstance(stmt.decls[0].init, ast.IntLiteral)
+
+    def test_multi_declarator(self):
+        (stmt,) = body_stmts("void f() { int x = 1, y = 2, z; }")
+        assert [d.name for d in stmt.decls] == ["x", "y", "z"]
+        assert stmt.decls[2].init is None
+
+    def test_pointer_and_value_in_one_declaration(self):
+        (stmt,) = body_stmts("void f(__global int* q) { int *p = q, n = 0; }")
+        assert isinstance(stmt.decls[0].declared_type, PointerType)
+        assert stmt.decls[1].declared_type == INT
+
+    def test_local_array_declaration(self):
+        src = "__kernel void k() { __local float tile[16][17]; }"
+        (stmt,) = body_stmts(src)
+        decl = stmt.decls[0]
+        assert decl.address_space == "local"
+        outer = decl.declared_type
+        assert isinstance(outer, ArrayType) and outer.length == 16
+        assert isinstance(outer.element, ArrayType) and outer.element.length == 17
+
+    def test_array_size_constant_folded(self):
+        (stmt,) = body_stmts("void f() { int a[4 * 4 + 2]; }")
+        assert stmt.decls[0].declared_type.length == 18
+
+    def test_array_size_must_be_constant(self):
+        with pytest.raises(CompileError):
+            parse("void f(int n) { int a[n]; }")
+
+    def test_if_else(self):
+        (stmt,) = body_stmts("void f(int x) { if (x) x = 1; else x = 2; }")
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.else_branch is not None
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = body_stmts("void f(int x) { if (x) if (x > 1) x = 1; else x = 2; }")
+        assert stmt.else_branch is None
+        assert isinstance(stmt.then_branch, ast.IfStmt)
+        assert stmt.then_branch.else_branch is not None
+
+    def test_for_loop_parts(self):
+        (stmt,) = body_stmts("void f() { for (int i = 0; i < 10; ++i) { } }")
+        assert isinstance(stmt, ast.ForStmt)
+        assert isinstance(stmt.init, ast.DeclStmt)
+        assert stmt.condition is not None
+        assert stmt.increment is not None
+
+    def test_for_loop_empty_parts(self):
+        (stmt,) = body_stmts("void f() { for (;;) break; }")
+        assert stmt.init is None and stmt.condition is None and stmt.increment is None
+
+    def test_while(self):
+        (stmt,) = body_stmts("void f(int x) { while (x) --x; }")
+        assert isinstance(stmt, ast.WhileStmt)
+
+    def test_do_while(self):
+        (stmt,) = body_stmts("void f(int x) { do { --x; } while (x); }")
+        assert isinstance(stmt, ast.DoStmt)
+
+    def test_switch_cases(self):
+        src = "void f(int x) { switch (x) { case 1: x = 2; break; default: x = 0; } }"
+        (stmt,) = body_stmts(src)
+        assert isinstance(stmt, ast.SwitchStmt)
+        assert len(stmt.cases) == 2
+        assert stmt.cases[1].value is None
+
+    def test_empty_statement(self):
+        (stmt,) = body_stmts("void f() { ; }")
+        assert isinstance(stmt, ast.ExprStmt) and stmt.expr is None
+
+    def test_goto_rejected(self):
+        with pytest.raises(CompileError):
+            parse("void f() { goto end; }")
+
+
+class TestExpressions:
+    def expr(self, text, params="int x, int y, float f"):
+        (stmt,) = body_stmts(f"void fn({params}) {{ {text}; }}")
+        return stmt.expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("x = 1 + 2 * 3")
+        assert isinstance(e.value, ast.BinaryOp)
+        assert e.value.op == "+"
+        assert e.value.right.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        e = self.expr("x = 1 << 2 < 3")
+        # '<' binds looser than '<<'
+        assert e.value.op == "<"
+        assert e.value.left.op == "<<"
+
+    def test_logical_precedence(self):
+        e = self.expr("x = 1 || 2 && 3")
+        assert e.value.op == "||"
+        assert e.value.right.op == "&&"
+
+    def test_right_associative_assignment(self):
+        e = self.expr("x = y = 3")
+        assert isinstance(e.value, ast.Assignment)
+
+    def test_ternary(self):
+        e = self.expr("x = x ? 1 : 2")
+        assert isinstance(e.value, ast.Conditional)
+
+    def test_nested_ternary_right_assoc(self):
+        e = self.expr("x = x ? 1 : y ? 2 : 3")
+        assert isinstance(e.value.else_expr, ast.Conditional)
+
+    def test_unary_chain(self):
+        e = self.expr("x = -~!x")
+        assert e.value.op == "-"
+        assert e.value.operand.op == "~"
+        assert e.value.operand.operand.op == "!"
+
+    def test_prefix_and_postfix_incdec(self):
+        pre = self.expr("++x")
+        post = self.expr("x++")
+        assert isinstance(pre, ast.UnaryOp)
+        assert isinstance(post, ast.PostfixOp)
+
+    def test_cast_vs_paren(self):
+        cast = self.expr("f = (float)x")
+        paren = self.expr("x = (y)")
+        assert isinstance(cast, ast.Assignment) and isinstance(cast.value, ast.Cast)
+        assert isinstance(paren.value, ast.Identifier)
+
+    def test_vector_literal(self):
+        (stmt,) = body_stmts("void fn() { float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f); }")
+        init = stmt.decls[0].init
+        assert isinstance(init, ast.VectorLiteral)
+        assert len(init.elements) == 4
+
+    def test_member_swizzle(self):
+        (stmt,) = body_stmts("void fn(float4 v) { float2 w = v.xy; }")
+        assert isinstance(stmt.decls[0].init, ast.Member)
+        assert stmt.decls[0].init.member == "xy"
+
+    def test_index_chain(self):
+        e = self.expr("x = y", params="int x, int y")
+        (stmt,) = body_stmts("void fn(__global int* p) { int v = p[1 + 2]; }")
+        assert isinstance(stmt.decls[0].init, ast.Index)
+
+    def test_call_with_args(self):
+        program = parse("int g(int a, int b) { return a; } void f() { g(1, 2); }")
+        call = program.functions[1].body.statements[0].expr
+        assert isinstance(call, ast.Call)
+        assert call.callee == "g" and len(call.args) == 2
+
+    def test_sizeof_type_and_expr(self):
+        (s1,) = body_stmts("void fn() { int a = sizeof(float); }")
+        (s2,) = body_stmts("void fn(int x) { int a = sizeof x; }")
+        assert isinstance(s1.decls[0].init, ast.SizeofExpr)
+        assert s1.decls[0].init.queried_type == FLOAT
+        assert s2.decls[0].init.operand is not None
+
+    def test_comma_expression(self):
+        (stmt,) = body_stmts("void fn(int x) { for (x = 0; x < 4; x = x + 1, x = x + 1) { } }")
+        assert isinstance(stmt.increment, ast.CommaExpr)
+
+    def test_arrow_rejected(self):
+        with pytest.raises(CompileError):
+            parse("void f(__global int* p) { p->x = 1; }")
+
+    def test_missing_semicolon_is_error(self):
+        with pytest.raises(CompileError):
+            parse("void f() { int x = 1 }")
+
+    def test_unbalanced_paren_is_error(self):
+        with pytest.raises(CompileError):
+            parse("void f() { int x = (1 + 2; }")
+
+
+class TestWalkers:
+    def test_walk_covers_all_nodes(self):
+        program = parse("int f(int x) { for (int i = 0; i < x; ++i) x += i; return x; }")
+        nodes = list(ast.walk(program))
+        kinds = {type(n).__name__ for n in nodes}
+        assert "ForStmt" in kinds and "Assignment" in kinds and "ReturnStmt" in kinds
+
+    def test_program_function_lookup(self):
+        program = parse("int f() { return 1; }")
+        assert program.function("f").name == "f"
+        with pytest.raises(KeyError):
+            program.function("missing")

@@ -1,0 +1,173 @@
+"""Preprocessor unit tests."""
+
+import pytest
+
+from repro.kernelc.preprocessor import Preprocessor, PreprocessorError, preprocess
+
+
+class TestObjectMacros:
+    def test_simple_define(self):
+        out = preprocess("#define N 16\nint x = N;")
+        assert "int x = 16;" in out
+
+    def test_define_is_word_bounded(self):
+        out = preprocess("#define N 16\nint NN = N;")
+        assert "int NN = 16;" in out
+
+    def test_undef(self):
+        out = preprocess("#define N 16\n#undef N\nint x = N;")
+        assert "int x = N;" in out
+
+    def test_redefine_overrides(self):
+        out = preprocess("#define N 1\n#define N 2\nint x = N;")
+        assert "int x = 2;" in out
+
+    def test_macro_in_string_not_expanded(self):
+        out = preprocess('#define N 16\nchar* s = "N";')
+        assert '"N"' in out
+
+    def test_macro_in_comment_not_expanded(self):
+        out = preprocess("#define N 16\nint x; // uses N\n")
+        assert "// uses N" in out
+
+    def test_nested_expansion(self):
+        out = preprocess("#define A B\n#define B 7\nint x = A;")
+        assert "int x = 7;" in out
+
+    def test_recursive_macro_does_not_hang(self):
+        # Self-reference is hidden (painted blue), like a real cpp.
+        out = preprocess("#define A A + 1\nint x = A;")
+        assert "A + 1" in out
+
+    def test_empty_body(self):
+        out = preprocess("#define EMPTY\nint x EMPTY;")
+        assert "int x ;" in out
+
+    def test_object_macro_with_parenthesized_body(self):
+        out = preprocess("#define X (1 + 2)\nint y = X;")
+        assert "(1 + 2)" in out
+
+    def test_predefines_argument(self):
+        out = preprocess("int x = WG;", defines={"WG": "256"})
+        assert "int x = 256;" in out
+
+
+class TestFunctionMacros:
+    def test_simple(self):
+        out = preprocess("#define SQR(x) ((x) * (x))\nint y = SQR(3);")
+        assert "((3) * (3))" in out
+
+    def test_two_params(self):
+        out = preprocess("#define MIN(a, b) ((a) < (b) ? (a) : (b))\nint y = MIN(1, 2);")
+        assert "((1) < (2) ? (1) : (2))" in out
+
+    def test_nested_call_arguments(self):
+        out = preprocess("#define ID(x) x\nint y = ID(f(1, 2));")
+        assert "f(1, 2)" in out
+
+    def test_name_without_parens_not_invoked(self):
+        out = preprocess("#define F(x) x\nint y = F;")
+        assert "int y = F;" in out
+
+    def test_wrong_arity_is_error(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#define F(a, b) a\nint y = F(1);")
+
+    def test_argument_containing_parens(self):
+        out = preprocess("#define ID(x) x\nint y = ID((1 + 2) * 3);")
+        assert "(1 + 2) * 3" in out
+
+    def test_macro_calling_macro(self):
+        out = preprocess("#define A(x) B(x)\n#define B(x) ((x) + 1)\nint y = A(2);")
+        assert "((2) + 1)" in out
+
+    def test_zero_parameter_macro(self):
+        out = preprocess("#define F() 42\nint y = F();")
+        assert "int y = 42;" in out
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        out = preprocess("#define X\n#ifdef X\nint a;\n#endif\nint b;")
+        assert "int a;" in out and "int b;" in out
+
+    def test_ifdef_skipped(self):
+        out = preprocess("#ifdef X\nint a;\n#endif\nint b;")
+        assert "int a;" not in out and "int b;" in out
+
+    def test_ifndef(self):
+        out = preprocess("#ifndef X\nint a;\n#endif")
+        assert "int a;" in out
+
+    def test_else(self):
+        out = preprocess("#ifdef X\nint a;\n#else\nint b;\n#endif")
+        assert "int a;" not in out and "int b;" in out
+
+    def test_nested_conditionals(self):
+        src = "#define A\n#ifdef A\n#ifdef B\nint x;\n#else\nint y;\n#endif\n#endif"
+        out = preprocess(src)
+        assert "int y;" in out and "int x;" not in out
+
+    def test_if_arithmetic(self):
+        out = preprocess("#define N 4\n#if N > 2\nint a;\n#endif")
+        assert "int a;" in out
+
+    def test_if_defined(self):
+        out = preprocess("#define X 1\n#if defined(X) && X\nint a;\n#endif")
+        assert "int a;" in out
+
+    def test_elif(self):
+        src = "#define N 2\n#if N == 1\nint a;\n#elif N == 2\nint b;\n#else\nint c;\n#endif"
+        out = preprocess(src)
+        assert "int b;" in out and "int a;" not in out and "int c;" not in out
+
+    def test_unterminated_conditional_is_error(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#ifdef X\nint a;")
+
+    def test_endif_without_if_is_error(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#endif")
+
+    def test_define_inside_skipped_region_ignored(self):
+        out = preprocess("#ifdef X\n#define N 9\n#endif\nint a = N;")
+        assert "int a = N;" in out
+
+
+class TestDirectivesMisc:
+    def test_pragma_ignored(self):
+        out = preprocess("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nint a;")
+        assert "int a;" in out
+
+    def test_include_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess('#include "foo.h"')
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#frobnicate")
+
+    def test_line_continuation(self):
+        out = preprocess("#define SUM(a, b) \\\n ((a) + (b))\nint y = SUM(1, 2);")
+        assert "((1) + (2))" in out
+
+    def test_line_count_preserved(self):
+        src = "#define A 1\nint x = A;\n#ifdef B\nint y;\n#endif\nint z;"
+        out = preprocess(src)
+        assert len(out.split("\n")) == len(src.split("\n"))
+
+    def test_directive_with_leading_whitespace(self):
+        out = preprocess("   #define N 3\nint x = N;")
+        assert "int x = 3;" in out
+
+
+class TestPreprocessorState:
+    def test_define_api(self):
+        pp = Preprocessor()
+        pp.define("MIN(a,b)", "((a)<(b)?(a):(b))")
+        out = pp.process("int x = MIN(3, 4);")
+        assert "((3)<(4)?(3):(4))" in out
+
+    def test_invalid_signature_rejected(self):
+        with pytest.raises(PreprocessorError):
+            Preprocessor().define("1BAD", "x")

@@ -1,0 +1,204 @@
+"""Pretty-printer tests: structural round-trips and hypothesis-generated
+expression trees.
+
+The key property: ``parse(print(parse(src)))`` produces the same tree
+as ``parse(src)`` (up to spans), and printed programs still compile and
+run identically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernelc import ast, compile_source
+from repro.kernelc.parser import parse
+from repro.kernelc.printer import print_expr, print_program
+
+from .helpers import run_kernel
+
+
+def structurally_equal(a: ast.Node, b: ast.Node) -> bool:
+    if type(a) is not type(b):
+        return False
+    skip = {"span", "ctype", "is_lvalue"}
+    for name in vars(a):
+        if name in skip:
+            continue
+        va, vb = getattr(a, name), getattr(b, name, None)
+        if isinstance(va, ast.Node):
+            if not structurally_equal(va, vb):
+                return False
+        elif isinstance(va, (list, tuple)):
+            if len(va) != len(vb):
+                return False
+            for xa, xb in zip(va, vb):
+                if isinstance(xa, ast.Node):
+                    if not structurally_equal(xa, xb):
+                        return False
+                elif xa != xb:
+                    return False
+        elif va != vb:
+            return False
+    return True
+
+
+def roundtrip(source: str) -> None:
+    first = parse(source)
+    printed = print_program(first)
+    second = parse(printed)
+    assert structurally_equal(first, second), printed
+
+
+class TestRoundTrips:
+    def test_simple_kernel(self):
+        roundtrip("""
+        __kernel void k(__global const float* a, __global float* o, int n) {
+            int gid = get_global_id(0);
+            if (gid < n) { o[gid] = a[gid] * 2.0f; }
+        }""")
+
+    def test_control_flow(self):
+        roundtrip("""
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; ++i) {
+                if (i % 2 == 0) continue;
+                s += i;
+                if (s > 100) break;
+            }
+            while (s > 0) { --s; }
+            do { ++s; } while (s < 3);
+            return s;
+        }""")
+
+    def test_switch(self):
+        roundtrip("""
+        int f(int x) {
+            switch (x) {
+                case 1: return 10;
+                case 2: x += 1;
+                default: return x;
+            }
+            return 0;
+        }""")
+
+    def test_operator_precedence_preserved(self):
+        roundtrip("int f(int a, int b, int c) { return a + b * c - (a + b) * c; }")
+
+    def test_nested_ternary(self):
+        roundtrip("int f(int a, int b) { return a ? b ? 1 : 2 : 3; }")
+
+    def test_assignment_chains(self):
+        roundtrip("void f(int a, int b) { a = b = 3; a += b -= 1; }")
+
+    def test_unary_mix(self):
+        roundtrip("int f(int x) { return -~!x + +x - -x; }")
+
+    def test_pointer_operations(self):
+        roundtrip("""
+        float f(__global float* p, int i) {
+            __global float* q = p + i;
+            return *q + q[1] + (q - p);
+        }""")
+
+    def test_vector_code(self):
+        roundtrip("""
+        float f(float4 v) {
+            float4 w = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+            w.x = v.y;
+            return dot(v, w) + w.lo.x;
+        }""")
+
+    def test_local_arrays_and_barrier(self):
+        roundtrip("""
+        __kernel void k(__global int* o) {
+            __local int tile[4][5];
+            tile[get_local_id(1)][get_local_id(0)] = 1;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            o[0] = tile[0][0];
+        }""")
+
+    def test_array_initializers(self):
+        roundtrip("""
+        int f() {
+            int w[4] = { 1, -2, 3, 4 };
+            return w[0];
+        }""")
+
+    def test_constant_globals(self):
+        roundtrip("""
+        __constant float SCALE = 2.5f;
+        __constant int W[3] = { 1, 2, 1 };
+        float f(float x) { return x * SCALE + W[1]; }
+        """)
+
+    def test_sizeof_forms(self):
+        roundtrip("int f(float x) { return sizeof(float4) + sizeof x; }")
+
+    def test_casts(self):
+        roundtrip("int f(float x) { return (int)x + (int)(uchar)x; }")
+
+    def test_comma_in_for(self):
+        roundtrip("void f(int n) { for (int i = 0; i < n; ++i, --n) { } }")
+
+    def test_double_negation_spacing(self):
+        # "-(-x)" must not print as "--x" (predecrement).
+        roundtrip("int f(int x) { return -(-x) + (- -x); }")
+
+    def test_printed_sobel_kernel_compiles_and_runs(self, rng):
+        from repro.apps.sobel import SOBEL_FUNC
+        import repro.skelcl as skelcl
+        from repro import ocl
+
+        skelcl.init(1, ocl.TEST_DEVICE)
+        try:
+            app_source = __import__("repro.apps.sobel", fromlist=["SobelEdgeDetection"])
+            stencil = app_source.SobelEdgeDetection().map_overlap
+            source = stencil.matrix_source()
+        finally:
+            skelcl.terminate()
+        program = parse(__import__("repro.kernelc.preprocessor", fromlist=["preprocess"]).preprocess(source))
+        printed = print_program(program)
+        recompiled = compile_source(printed)
+        assert any(k.name == "skelcl_mapoverlap_m" for k in recompiled.kernels())
+
+
+# -- hypothesis: generated expressions survive the round trip ---------------
+
+_LEAF = st.sampled_from(["x", "y", "1", "2", "7"])
+_BINOPS = st.sampled_from(list("+-*&|^") + ["<<", ">>", "<", ">", "==", "!=", "&&", "||"])
+
+
+def expr_strategy(depth=3):
+    if depth == 0:
+        return _LEAF
+    return st.one_of(
+        _LEAF,
+        st.tuples(_BINOPS, expr_strategy(depth - 1), expr_strategy(depth - 1)).map(
+            lambda t: f"({t[1]} {t[0]} {t[2]})"
+        ),
+        expr_strategy(depth - 1).map(lambda e: f"(- {e})"),
+        expr_strategy(depth - 1).map(lambda e: f"(~{e})"),
+        expr_strategy(depth - 1).map(lambda e: f"(!{e})"),
+        st.tuples(expr_strategy(depth - 1), expr_strategy(depth - 1), expr_strategy(depth - 1)).map(
+            lambda t: f"({t[0]} ? {t[1]} : {t[2]})"
+        ),
+    )
+
+
+class TestRoundTripProperties:
+    @given(expr=expr_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_expression_roundtrip(self, expr):
+        source = f"int f(int x, int y) {{ return {expr}; }}"
+        roundtrip(source)
+
+    @given(expr=expr_strategy(depth=2), x=st.integers(-9, 9), y=st.integers(-9, 9))
+    @settings(max_examples=40, deadline=None)
+    def test_printed_program_computes_identically(self, expr, x, y):
+        source = f"__kernel void k(__global long* o, int x, int y) {{ o[0] = (long)({expr}); }}"
+        printed = print_program(parse(source))
+        arrays = {"o": np.zeros(1, np.int64)}
+        original, _ = run_kernel(source, "k", {k: v.copy() for k, v in arrays.items()}, ["o", x, y], 1)
+        reprinted, _ = run_kernel(printed, "k", {k: v.copy() for k, v in arrays.items()}, ["o", x, y], 1)
+        assert original["o"][0] == reprinted["o"][0]

@@ -1,0 +1,85 @@
+"""SourceFile/Span bookkeeping and diagnostic rendering tests."""
+
+import pytest
+
+from repro.kernelc import compile_source
+from repro.kernelc.diagnostics import CompileError, Diagnostic, DiagnosticSink, Severity
+from repro.kernelc.source import SourceFile
+
+
+class TestSourceFile:
+    def test_offset_to_location(self):
+        source = SourceFile("abc\ndef\nghi")
+        assert str(source.location(0)) == "1:1"
+        assert str(source.location(4)) == "2:1"
+        assert str(source.location(6)) == "2:3"
+        assert str(source.location(10)) == "3:3"
+
+    def test_offset_clamped(self):
+        source = SourceFile("ab")
+        assert source.location(100).offset == 2
+        assert source.location(-5).offset == 0
+
+    def test_line_text(self):
+        source = SourceFile("first\nsecond\nthird")
+        assert source.line_text(2) == "second"
+        assert source.line_text(3) == "third"
+        assert source.line_text(99) == ""
+
+    def test_span_merge(self):
+        source = SourceFile("hello world")
+        a = source.span(0, 5)
+        b = source.span(6, 11)
+        merged = a.merge(b)
+        assert merged.start.offset == 0 and merged.end.offset == 11
+
+    def test_snippet_has_caret_under_span(self):
+        source = SourceFile("int x = oops;")
+        span = source.span(8, 12)
+        snippet = source.snippet(span)
+        lines = snippet.split("\n")
+        assert lines[0] == "int x = oops;"
+        assert lines[1] == "        ^^^^"
+
+    def test_snippet_multiline_span_extends_to_eol(self):
+        source = SourceFile("abcdef\nxyz")
+        span = source.span(2, 9)
+        caret_line = source.snippet(span).split("\n")[1]
+        assert caret_line == "  ^^^^"
+
+
+class TestDiagnostics:
+    def test_error_rendering_contains_location_and_snippet(self):
+        with pytest.raises(CompileError) as excinfo:
+            compile_source("void f() { undeclared_thing = 1; }", name="myfile.cl")
+        text = str(excinfo.value)
+        assert "myfile.cl:1:" in text
+        assert "undeclared identifier" in text
+        assert "^" in text  # caret snippet present
+
+    def test_multiple_errors_collected(self):
+        with pytest.raises(CompileError) as excinfo:
+            compile_source("void f() { a = 1; b = 2; }")
+        assert len(excinfo.value.diagnostics) == 2
+
+    def test_sink_severities(self):
+        sink = DiagnosticSink()
+        sink.note("fyi")
+        sink.warning("hmm")
+        assert not sink.has_errors
+        sink.check()  # no error -> no raise
+        sink.error("bad")
+        assert sink.has_errors
+        assert len(sink.errors) == 1
+        assert len(sink.warnings) == 1
+        with pytest.raises(CompileError):
+            sink.check()
+
+    def test_diagnostic_without_span_renders(self):
+        diagnostic = Diagnostic(Severity.ERROR, "broken")
+        assert diagnostic.render() == "error: broken"
+
+    def test_parse_error_points_at_offending_token(self):
+        with pytest.raises(CompileError) as excinfo:
+            compile_source("void f() {\n    int x = ;\n}")
+        assert ":2:" in str(excinfo.value)

@@ -1,0 +1,306 @@
+"""Type checker unit tests: accepted programs, rejected programs, and
+the annotations the backends rely on."""
+
+import pytest
+
+from repro.kernelc import ast, compile_source
+from repro.kernelc.ctypes_ import DOUBLE, FLOAT, INT, LONG, UINT, VectorType
+from repro.kernelc.diagnostics import CompileError
+
+
+def check_ok(source: str):
+    return compile_source(source)
+
+
+def check_fails(source: str, fragment: str = ""):
+    with pytest.raises(CompileError) as excinfo:
+        compile_source(source)
+    if fragment:
+        assert fragment in str(excinfo.value)
+    return excinfo.value
+
+
+class TestDeclarations:
+    def test_undeclared_identifier(self):
+        check_fails("void f() { x = 1; }", "undeclared identifier")
+
+    def test_redeclaration_in_same_scope(self):
+        check_fails("void f() { int x; int x; }", "redeclaration")
+
+    def test_shadowing_in_inner_scope_ok(self):
+        check_ok("void f() { int x = 1; { float x = 2.0f; } }")
+
+    def test_void_variable_rejected(self):
+        check_fails("void f() { void x; }", "void")
+
+    def test_use_before_declaration_rejected(self):
+        check_fails("void f() { x = 1; int x; }")
+
+    def test_const_assignment_rejected(self):
+        check_fails("void f() { const int x = 1; x = 2; }", "const")
+
+    def test_for_scope_variable_not_visible_outside(self):
+        check_fails("void f() { for (int i = 0; i < 3; ++i) { } i = 1; }")
+
+    def test_local_outside_kernel_rejected(self):
+        check_fails("void f() { __local float t[4]; }", "__local")
+
+    def test_local_with_initializer_rejected(self):
+        check_fails("__kernel void k() { __local float t = 1.0f; }")
+
+
+class TestFunctions:
+    def test_kernel_must_return_void(self):
+        check_fails("__kernel int k() { return 1; }", "must return void")
+
+    def test_kernel_private_pointer_param_rejected(self):
+        check_fails("__kernel void k(float* p) { }", "must be __global")
+
+    def test_redefinition_rejected(self):
+        check_fails("int f() { return 1; } int f() { return 2; }", "redefinition")
+
+    def test_call_arity_mismatch(self):
+        check_fails("int g(int a) { return a; } void f() { g(1, 2); }", "expects 1")
+
+    def test_calling_kernel_rejected(self):
+        check_fails("__kernel void k() { } __kernel void j() { k(); }")
+
+    def test_missing_return_value(self):
+        check_fails("int f() { return; }", "must return a value")
+
+    def test_void_returning_value_rejected(self):
+        check_fails("void f() { return 1; }", "cannot return a value")
+
+    def test_shadowing_builtin_rejected(self):
+        check_fails("float sqrt(float x) { return x; }", "shadows")
+
+    def test_undeclared_function_call(self):
+        check_fails("void f() { frobnicate(1); }", "undeclared function")
+
+    def test_return_conversion_allowed(self):
+        check_ok("float f() { return 1; }")
+
+    def test_duplicate_parameter_names(self):
+        check_fails("void f(int a, int a) { }", "duplicate parameter")
+
+
+class TestOperators:
+    def test_arithmetic_result_types(self):
+        program = check_ok("void f(int i, float x) { float y = i + x; }")
+        decl = program.functions[0].body.statements[0].decls[0]
+        assert decl.init.op_type == FLOAT
+
+    def test_integer_promotion_in_char_addition(self):
+        program = check_ok("void f(char a, char b) { int r = a + b; }")
+        decl = program.functions[0].body.statements[0].decls[0]
+        assert decl.init.op_type == INT
+
+    def test_float_int_division_is_float(self):
+        program = check_ok("void f(float x) { float y = x / 2; }")
+        decl = program.functions[0].body.statements[0].decls[0]
+        assert decl.init.op_type == FLOAT
+
+    def test_modulo_on_floats_rejected(self):
+        check_fails("void f(float x) { x = x % 2.0f; }")
+
+    def test_shift_on_float_rejected(self):
+        check_fails("void f(float x) { x = x << 1; }")
+
+    def test_bitand_on_float_rejected(self):
+        check_fails("void f(float x) { int y = x & 1; }")
+
+    def test_comparison_yields_int(self):
+        program = check_ok("void f(float x) { int b = x < 1.0f; }")
+        decl = program.functions[0].body.statements[0].decls[0]
+        assert decl.init.ctype == INT
+
+    def test_logical_ops_require_scalars(self):
+        check_ok("void f(int x, __global int* p) { int b = x && p; }")
+
+    def test_assignment_to_rvalue_rejected(self):
+        check_fails("void f(int x) { (x + 1) = 2; }", "not an lvalue")
+
+    def test_incdec_requires_lvalue(self):
+        check_fails("void f(int x) { ++(x + 1); }")
+
+    def test_conditional_common_type(self):
+        program = check_ok("void f(int c, int i, float x) { float y = c ? i : x; }")
+        decl = program.functions[0].body.statements[0].decls[0]
+        assert decl.init.ctype == FLOAT
+
+    def test_int_literal_types(self):
+        program = check_ok("void f() { int a = 1; long b = 3000000000; uint c = 2u; }")
+        decls = [d for s in program.functions[0].body.statements for d in s.decls]
+        assert decls[0].init.ctype == INT
+        assert decls[1].init.ctype == LONG
+        assert decls[2].init.ctype == UINT
+
+    def test_float_literal_types(self):
+        program = check_ok("void f() { float a = 1.0f; double b = 1.0; }")
+        decls = [d for s in program.functions[0].body.statements for d in s.decls]
+        assert decls[0].init.ctype == FLOAT
+        assert decls[1].init.ctype == DOUBLE
+
+
+class TestPointers:
+    def test_pointer_arithmetic(self):
+        check_ok("void f(__global float* p) { p = p + 1; float x = *(p + 2); }")
+
+    def test_pointer_difference_is_long(self):
+        program = check_ok("void f(__global float* p, __global float* q) { long d = p - q; }")
+        decl = program.functions[0].body.statements[0].decls[0]
+        assert decl.init.ctype == LONG
+
+    def test_pointer_plus_pointer_rejected(self):
+        check_fails("void f(__global float* p, __global float* q) { p = p + q; }")
+
+    def test_pointer_times_int_rejected(self):
+        check_fails("void f(__global float* p) { p = p * 2; }")
+
+    def test_indexing_non_pointer_rejected(self):
+        check_fails("void f(int x) { int y = x[0]; }", "cannot index")
+
+    def test_deref_non_pointer_rejected(self):
+        check_fails("void f(int x) { int y = *x; }", "dereference")
+
+    def test_address_space_mismatch_rejected(self):
+        check_fails(
+            "void g(__local float* p) { } "
+            "__kernel void k(__global float* p) { g(p); }"
+        )
+
+    def test_generic_private_param_accepts_global(self):
+        check_ok(
+            "float g(const float* p) { return p[0]; } "
+            "__kernel void k(__global float* p, __global float* o) { o[0] = g(p); }"
+        )
+
+    def test_float_index_rejected(self):
+        check_fails("void f(__global float* p) { float x = p[1.5f]; }", "integer")
+
+
+class TestVectors:
+    def test_component_access(self):
+        program = check_ok("void f(float4 v) { float x = v.x; float2 lo = v.lo; }")
+        stmts = program.functions[0].body.statements
+        assert stmts[0].decls[0].init.ctype == FLOAT
+        assert stmts[1].decls[0].init.ctype == VectorType(FLOAT, 2)
+
+    def test_swizzle(self):
+        program = check_ok("void f(float4 v) { float3 w = v.xyz; }")
+        assert program.functions[0].body.statements[0].decls[0].init.ctype == VectorType(FLOAT, 3)
+
+    def test_out_of_range_component_rejected(self):
+        check_fails("void f(float2 v) { float x = v.z; }", "out of range")
+
+    def test_invalid_selector_rejected(self):
+        check_fails("void f(float4 v) { float x = v.q; }")
+
+    def test_duplicate_swizzle_not_assignable(self):
+        check_fails("void f(float4 v) { v.xx = (float2)(1.0f, 2.0f); }")
+
+    def test_vector_arithmetic(self):
+        check_ok("void f(float4 a, float4 b) { float4 c = a * b + 1.0f; }")
+
+    def test_vector_width_mismatch_rejected(self):
+        check_fails("void f(float4 a, float2 b) { a = a + b; }")
+
+    def test_vector_literal_wrong_count_rejected(self):
+        check_fails("void f() { float4 v = (float4)(1.0f, 2.0f); }", "component")
+
+    def test_vector_literal_broadcast(self):
+        check_ok("void f() { float4 v = (float4)(0.0f); }")
+
+    def test_member_on_scalar_rejected(self):
+        check_fails("void f(float x) { float y = x.x; }", "non-vector")
+
+    def test_vector_comparison_yields_int_vector(self):
+        program = check_ok("void f(float4 a, float4 b) { int4 m = a < b; }")
+        decl = program.functions[0].body.statements[0].decls[0]
+        assert decl.init.ctype == VectorType(INT, 4)
+
+
+class TestBuiltins:
+    def test_workitem_functions(self):
+        check_ok("__kernel void k(__global float* o) { o[get_global_id(0)] = get_local_size(0); }")
+
+    def test_math_functions(self):
+        check_ok("void f(float x) { float y = sqrt(x) + sin(x) * pow(x, 2.0f); }")
+
+    def test_min_max_integer_and_float(self):
+        check_ok("void f(int i, float x) { int a = min(i, 3); float b = max(x, 0.0f); }")
+
+    def test_clamp(self):
+        check_ok("void f(float x) { float y = clamp(x, 0.0f, 1.0f); }")
+
+    def test_geometric_on_vectors(self):
+        check_ok("void f(float4 a, float4 b) { float d = dot(a, b); float l = length(a); }")
+
+    def test_convert_function(self):
+        program = check_ok("void f(float x) { int i = convert_int(x); }")
+        decl = program.functions[0].body.statements[0].decls[0]
+        assert decl.init.ctype == INT
+
+    def test_as_type_reinterpret(self):
+        check_ok("void f(float x) { uint u = as_uint(x); }")
+
+    def test_as_type_size_mismatch_rejected(self):
+        check_fails("void f(float x) { ulong u = as_ulong(x); }")
+
+    def test_wrong_builtin_arity_rejected(self):
+        check_fails("void f(float x) { float y = sqrt(x, x); }")
+
+    def test_barrier_in_kernel_statement_ok(self):
+        program = check_ok("__kernel void k() { barrier(CLK_LOCAL_MEM_FENCE); }")
+        assert program.uses_barrier
+        assert program.functions[0].uses_barrier
+
+    def test_barrier_in_helper_rejected(self):
+        check_fails("void f() { barrier(CLK_LOCAL_MEM_FENCE); }", "__kernel")
+
+    def test_barrier_in_expression_rejected(self):
+        check_fails("__kernel void k() { int x = (barrier(CLK_LOCAL_MEM_FENCE), 1); }")
+
+    def test_builtin_constants(self):
+        check_ok("void f() { float pi = M_PI_F; int m = INT_MAX; }")
+
+
+class TestControlFlow:
+    def test_break_outside_loop_rejected(self):
+        check_fails("void f() { break; }", "break")
+
+    def test_continue_outside_loop_rejected(self):
+        check_fails("void f() { continue; }", "continue")
+
+    def test_break_in_switch_ok(self):
+        check_ok("void f(int x) { switch (x) { case 1: break; } }")
+
+    def test_continue_in_switch_without_loop_rejected(self):
+        check_fails("void f(int x) { switch (x) { case 1: continue; } }")
+
+    def test_switch_on_float_rejected(self):
+        check_fails("void f(float x) { switch (x) { } }", "integer")
+
+    def test_duplicate_default_rejected(self):
+        check_fails("void f(int x) { switch (x) { default: break; default: break; } }")
+
+    def test_condition_must_be_scalar(self):
+        check_fails("void f(float4 v) { if (v) { } }", "scalar")
+
+
+class TestAnnotations:
+    def test_expressions_get_types(self):
+        program = check_ok("__kernel void k(__global float* p, int n) { p[0] = n * 2.0f; }")
+        for node in ast.walk(program.functions[0].body):
+            if isinstance(node, ast.Expr):
+                assert node.ctype is not None, f"{type(node).__name__} missing ctype"
+
+    def test_call_resolution_annotations(self):
+        program = check_ok(
+            "float g(float x) { return x; } void f(float x) { float a = g(x); float b = sqrt(x); }"
+        )
+        stmts = program.functions[1].body.statements
+        user_call = stmts[0].decls[0].init
+        builtin_call = stmts[1].decls[0].init
+        assert user_call.kind == "user" and user_call.callee_def.name == "g"
+        assert builtin_call.kind == "builtin" and builtin_call.resolved.name == "sqrt"

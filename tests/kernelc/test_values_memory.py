@@ -1,0 +1,238 @@
+"""Value and memory model unit tests: vectors, pointers, conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernelc.ctypes_ import (
+    CHAR,
+    FLOAT,
+    INT,
+    LONG,
+    SHORT,
+    UCHAR,
+    UINT,
+    ULONG,
+    VectorType,
+    convert_scalar,
+    integer_promote,
+    usual_arithmetic_conversions,
+    wrap_int,
+)
+from repro.kernelc.execmodel import ExecutionCounters
+from repro.kernelc.memory import ArrayRef, KernelFault, Pointer, allocate
+from repro.kernelc.values import VecValue, component_indices
+
+
+class TestComponentIndices:
+    def test_xyzw(self):
+        assert component_indices("x", 4) == [0]
+        assert component_indices("w", 4) == [3]
+        assert component_indices("xyzw", 4) == [0, 1, 2, 3]
+        assert component_indices("wzyx", 4) == [3, 2, 1, 0]
+
+    def test_numeric_selectors(self):
+        assert component_indices("s0", 8) == [0]
+        assert component_indices("s7", 8) == [7]
+        assert component_indices("s01", 4) == [0, 1]
+
+    def test_hex_selectors_wide_vector(self):
+        assert component_indices("sF", 16) == [15]
+        assert component_indices("sa", 16) == [10]
+
+    def test_lo_hi_even_odd(self):
+        assert component_indices("lo", 4) == [0, 1]
+        assert component_indices("hi", 4) == [2, 3]
+        assert component_indices("even", 8) == [0, 2, 4, 6]
+        assert component_indices("odd", 8) == [1, 3, 5, 7]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            component_indices("z", 2)
+        with pytest.raises(ValueError):
+            component_indices("s4", 4)
+
+    def test_invalid_selector_rejected(self):
+        with pytest.raises(ValueError):
+            component_indices("q", 4)
+
+    def test_lo_on_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            component_indices("lo", 3)
+
+
+class TestVecValue:
+    def test_components_converted_to_element_type(self):
+        v = VecValue(INT, [1.9, -2.9, 3, 4])
+        assert v.components == [1, -2, 3, 4]
+
+    def test_map_and_zip(self):
+        v = VecValue(FLOAT, [1, 2, 3, 4])
+        doubled = v.map(lambda c: c * 2)
+        assert doubled.components == [2, 4, 6, 8]
+        summed = v.zip_with(doubled, lambda a, b: a + b)
+        assert summed.components == [3, 6, 9, 12]
+
+    def test_zip_with_scalar_broadcast(self):
+        v = VecValue(INT, [1, 2])
+        assert v.zip_with(10, lambda a, b: a + b).components == [11, 12]
+
+    def test_equality(self):
+        assert VecValue(INT, [1, 2]) == VecValue(INT, [1, 2])
+        assert VecValue(INT, [1, 2]) != VecValue(INT, [2, 1])
+        assert VecValue(INT, [1, 2]) != VecValue(FLOAT, [1, 2])
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VecValue(INT, [1, 2]).zip_with(VecValue(INT, [1, 2, 3]), lambda a, b: a)
+
+
+class TestPointer:
+    def _pointer(self, n=8, dtype=np.float32, ctype=FLOAT):
+        counters = ExecutionCounters()
+        array = np.arange(n, dtype=dtype)
+        return Pointer(array, ctype, "global", 0, counters.memory), counters
+
+    def test_load_store_roundtrip(self):
+        pointer, _ = self._pointer()
+        pointer.store(2, 42.5)
+        assert pointer.load(2) == 42.5
+
+    def test_pointer_arithmetic(self):
+        pointer, _ = self._pointer()
+        shifted = pointer.add(3)
+        assert shifted.load(0) == 3.0
+        assert shifted.diff(pointer) == 3
+
+    def test_bounds_checked(self):
+        pointer, _ = self._pointer(4)
+        with pytest.raises(KernelFault):
+            pointer.load(4)
+        with pytest.raises(KernelFault):
+            pointer.add(2).load(-3)
+
+    def test_diff_between_objects_rejected(self):
+        a, _ = self._pointer()
+        b, _ = self._pointer()
+        with pytest.raises(KernelFault):
+            a.diff(b)
+
+    def test_traffic_accounting(self):
+        pointer, counters = self._pointer()
+        pointer.load(0)
+        pointer.load(1)
+        pointer.store(2, 1.0)
+        assert counters.memory.global_loads == 2
+        assert counters.memory.global_stores == 1
+        assert counters.memory.global_bytes == 3 * 4
+
+    def test_local_traffic_separate(self):
+        counters = ExecutionCounters()
+        local = Pointer(np.zeros(4, np.float32), FLOAT, "local", 0, counters.memory)
+        local.store(0, 1.0)
+        local.load(0)
+        assert counters.memory.local_loads == 1
+        assert counters.memory.local_stores == 1
+        assert counters.memory.global_loads == 0
+
+    def test_store_applies_c_conversion(self):
+        counters = ExecutionCounters()
+        pointer = Pointer(np.zeros(2, np.uint8), UCHAR, "global", 0, counters.memory)
+        pointer.store(0, 300)
+        assert pointer.load(0) == 44
+
+    def test_retyped_scalar_reinterpret(self):
+        counters = ExecutionCounters()
+        array = np.array([1, 0, 0, 0, 2, 0, 0, 0], np.uint8)
+        bytes_ptr = Pointer(array, UCHAR, "global", 0, counters.memory)
+        words = bytes_ptr.retyped(INT)
+        assert words.load(0) == 1
+        assert words.load(1) == 2
+        assert words.length == 2
+
+    def test_retyped_misaligned_rejected(self):
+        counters = ExecutionCounters()
+        array = np.zeros(8, np.uint8)
+        pointer = Pointer(array, UCHAR, "global", 1, counters.memory)
+        with pytest.raises(KernelFault):
+            pointer.retyped(INT)
+
+    def test_vector_load_store(self):
+        counters = ExecutionCounters()
+        pointer = allocate(VectorType(FLOAT, 4), 2, "global", counters.memory)
+        pointer.store(1, VecValue(FLOAT, [1, 2, 3, 4]))
+        value = pointer.load(1)
+        assert value == VecValue(FLOAT, [1, 2, 3, 4])
+        assert counters.memory.global_bytes == 32
+
+
+class TestArrayRef:
+    def test_flat_indexing(self):
+        pointer = allocate(INT, 6, "private")
+        ref = ArrayRef(pointer, INT)
+        slot_pointer, index = ref.index(4)
+        slot_pointer.store(index, 9)
+        assert pointer.load(4) == 9
+
+    def test_two_level_indexing(self):
+        from repro.kernelc.ctypes_ import ArrayType
+
+        pointer = allocate(INT, 6, "private")
+        ref = ArrayRef(pointer, ArrayType(INT, 3))  # shape (2, 3)
+        row = ref.index(1)
+        assert isinstance(row, ArrayRef)
+        slot_pointer, index = row.index(2)
+        slot_pointer.store(index, 5)
+        assert pointer.load(5) == 5
+
+    def test_decay(self):
+        pointer = allocate(INT, 4, "private")
+        ref = ArrayRef(pointer, INT)
+        assert ref.decayed() is pointer
+
+
+class TestConversions:
+    @given(value=st.integers(-(2**70), 2**70))
+    @settings(max_examples=100, deadline=None)
+    def test_wrap_int_ranges(self, value):
+        for ctype in (CHAR, UCHAR, SHORT, INT, UINT, LONG, ULONG):
+            wrapped = wrap_int(value, ctype)
+            assert ctype.min_value() <= wrapped <= ctype.max_value()
+            # Wrapping is congruent mod 2^bits.
+            assert (wrapped - value) % (1 << ctype.bits) == 0
+
+    @given(value=st.integers(-128, 127))
+    @settings(max_examples=50, deadline=None)
+    def test_wrap_identity_in_range(self, value):
+        assert wrap_int(value, CHAR) == value
+
+    def test_convert_scalar_float_to_int_truncates(self):
+        assert convert_scalar(2.7, INT) == 2
+        assert convert_scalar(-2.7, INT) == -2
+
+    def test_convert_scalar_float32_rounding(self):
+        value = convert_scalar(0.1, FLOAT)
+        assert value == np.float32(0.1)
+
+    def test_integer_promotion(self):
+        assert integer_promote(CHAR) == INT
+        assert integer_promote(SHORT) == INT
+        assert integer_promote(INT) == INT
+        assert integer_promote(LONG) == LONG
+
+    def test_usual_arithmetic_conversions(self):
+        assert usual_arithmetic_conversions(INT, FLOAT) == FLOAT
+        assert usual_arithmetic_conversions(CHAR, CHAR) == INT
+        assert usual_arithmetic_conversions(INT, UINT) == UINT
+        assert usual_arithmetic_conversions(UINT, LONG) == LONG
+        assert usual_arithmetic_conversions(LONG, ULONG) == ULONG
+
+    @given(
+        a=st.sampled_from([CHAR, UCHAR, SHORT, INT, UINT, LONG, ULONG]),
+        b=st.sampled_from([CHAR, UCHAR, SHORT, INT, UINT, LONG, ULONG]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_usual_conversions_commutative_and_wide(self, a, b):
+        common = usual_arithmetic_conversions(a, b)
+        assert common == usual_arithmetic_conversions(b, a)
+        assert common.size >= min(integer_promote(a).size, integer_promote(b).size)

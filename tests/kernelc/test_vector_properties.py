@@ -1,0 +1,107 @@
+"""Hypothesis property tests over OpenCL vector-type semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from .helpers import run_both
+
+_FLOATS = st.floats(-8, 8, width=32)
+
+
+class TestVectorArithmetic:
+    @given(
+        a=st.lists(_FLOATS, min_size=4, max_size=4),
+        b=st.lists(_FLOATS, min_size=4, max_size=4),
+        op=st.sampled_from(["+", "-", "*"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_elementwise_ops_agree_with_numpy(self, a, b, op):
+        src = f"""__kernel void k(__global const float* pa, __global const float* pb,
+                                  __global float* o) {{
+            float4 va = vload4(0, pa);
+            float4 vb = vload4(0, pb);
+            float4 vc = va {op} vb;
+            vstore4(vc, 0, o);
+        }}"""
+        arrays = {
+            "pa": np.array(a, np.float32),
+            "pb": np.array(b, np.float32),
+            "o": np.zeros(4, np.float32),
+        }
+        (c_res, _), (i_res, _) = run_both(src, "k", arrays, ["pa", "pb", "o"], 1)
+        np.testing.assert_allclose(c_res["o"], i_res["o"], rtol=1e-5, atol=1e-5)
+        expected = {
+            "+": np.array(a, np.float32) + np.array(b, np.float32),
+            "-": np.array(a, np.float32) - np.array(b, np.float32),
+            "*": np.array(a, np.float32) * np.array(b, np.float32),
+        }[op]
+        np.testing.assert_allclose(c_res["o"], expected, rtol=1e-5, atol=1e-5)
+
+    @given(values=st.lists(_FLOATS, min_size=4, max_size=4), scalar=_FLOATS)
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_broadcast(self, values, scalar):
+        src = """__kernel void k(__global const float* p, __global float* o, float s) {
+            float4 v = vload4(0, p);
+            vstore4(v * s + 1.0f, 0, o);
+        }"""
+        arrays = {"p": np.array(values, np.float32), "o": np.zeros(4, np.float32)}
+        (c_res, _), (i_res, _) = run_both(src, "k", arrays, ["p", "o", float(scalar)], 1)
+        np.testing.assert_allclose(c_res["o"], i_res["o"], rtol=1e-5, atol=1e-5)
+        expected = np.array(values, np.float32) * np.float32(scalar) + 1.0
+        np.testing.assert_allclose(c_res["o"], expected, rtol=1e-4, atol=1e-4)
+
+    @given(values=st.lists(_FLOATS, min_size=4, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_swizzle_identities(self, values):
+        src = """__kernel void k(__global const float* p, __global float* o) {
+            float4 v = vload4(0, p);
+            float4 w = v.wzyx;
+            float4 u = w.wzyx;      // double reverse == identity
+            vstore4(u, 0, o);
+            o[4] = v.lo.x + v.hi.y; // v.x + v.w
+        }"""
+        arrays = {"p": np.array(values, np.float32), "o": np.zeros(5, np.float32)}
+        (c_res, _), (i_res, _) = run_both(src, "k", arrays, ["p", "o"], 1)
+        np.testing.assert_allclose(c_res["o"], i_res["o"], rtol=1e-6)
+        np.testing.assert_allclose(c_res["o"][:4], np.array(values, np.float32), rtol=1e-6)
+        assert c_res["o"][4] == pytest.approx(
+            np.float32(values[0]) + np.float32(values[3]), rel=1e-5
+        )
+
+    @given(
+        a=st.lists(_FLOATS, min_size=4, max_size=4),
+        b=st.lists(_FLOATS, min_size=4, max_size=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dot_matches_numpy(self, a, b):
+        src = """__kernel void k(__global const float* pa, __global const float* pb,
+                                 __global float* o) {
+            o[0] = dot(vload4(0, pa), vload4(0, pb));
+        }"""
+        arrays = {
+            "pa": np.array(a, np.float32),
+            "pb": np.array(b, np.float32),
+            "o": np.zeros(1, np.float32),
+        }
+        (c_res, _), (i_res, _) = run_both(src, "k", arrays, ["pa", "pb", "o"], 1)
+        expected = float(np.dot(np.array(a, np.float64), np.array(b, np.float64)))
+        assert c_res["o"][0] == pytest.approx(expected, rel=1e-4, abs=1e-4)
+        assert i_res["o"][0] == pytest.approx(expected, rel=1e-3, abs=1e-3)
+
+    @given(
+        ints=st.lists(st.integers(-100, 100), min_size=4, max_size=4),
+        shift=st.integers(0, 7),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_integer_vector_ops(self, ints, shift):
+        src = f"""__kernel void k(__global const int* p, __global int* o) {{
+            int4 v = vload4(0, p);
+            int4 w = (v << {shift}) ^ v;
+            vstore4(w, 0, o);
+        }}"""
+        arrays = {"p": np.array(ints, np.int32), "o": np.zeros(4, np.int32)}
+        (c_res, _), (i_res, _) = run_both(src, "k", arrays, ["p", "o"], 1)
+        np.testing.assert_array_equal(c_res["o"], i_res["o"])
+        expected = ((np.array(ints, np.int32) << shift) ^ np.array(ints, np.int32))
+        np.testing.assert_array_equal(c_res["o"], expected)

@@ -1,0 +1,78 @@
+"""NDRange geometry tests."""
+
+import pytest
+
+from repro.ocl import InvalidValue, InvalidWorkGroupSize, NDRange
+
+
+class TestCreation:
+    def test_1d(self):
+        r = NDRange.create(1024, 256)
+        assert r.global_size == (1024,)
+        assert r.local_size == (256,)
+        assert r.total_groups == 4
+
+    def test_int_or_tuple_equivalent(self):
+        assert NDRange.create(64, 8) == NDRange.create((64,), (8,))
+
+    def test_2d(self):
+        r = NDRange.create((64, 32), (16, 8))
+        assert r.num_groups == (4, 4)
+        assert r.work_group_size == 128
+        assert r.total_work_items == 2048
+
+    def test_3d(self):
+        r = NDRange.create((8, 8, 8), (2, 2, 2))
+        assert r.total_groups == 64
+
+    def test_non_divisible_rejected(self):
+        with pytest.raises(InvalidWorkGroupSize):
+            NDRange.create(100, 32)
+
+    def test_zero_global_rejected(self):
+        with pytest.raises(InvalidValue):
+            NDRange.create(0, 1)
+
+    def test_zero_local_rejected(self):
+        with pytest.raises(InvalidWorkGroupSize):
+            NDRange.create((8,), (0,))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(InvalidWorkGroupSize):
+            NDRange.create((8, 8), (8,))
+
+    def test_too_many_dimensions_rejected(self):
+        with pytest.raises(InvalidValue):
+            NDRange.create((2, 2, 2, 2), (1, 1, 1, 1))
+
+    def test_group_size_limit(self):
+        with pytest.raises(InvalidWorkGroupSize):
+            NDRange.create(2048, 2048, max_work_group_size=1024)
+
+    def test_default_local_size_divides_global(self):
+        r = NDRange.create(96, max_work_group_size=256)
+        assert 96 % r.local_size[0] == 0
+
+    def test_default_local_respects_limit(self):
+        r = NDRange.create((64, 64), None, max_work_group_size=64)
+        assert r.work_group_size <= 64
+
+
+class TestEnumeration:
+    def test_group_ids_cover_all_groups(self):
+        r = NDRange.create((8, 4), (4, 2))
+        groups = list(r.group_ids())
+        assert len(groups) == r.total_groups
+        assert len(set(groups)) == len(groups)
+        assert (0, 0) in groups and (1, 1) in groups
+
+    def test_local_ids_cover_group(self):
+        r = NDRange.create((4, 4), (2, 2))
+        locals_ = list(r.local_ids())
+        assert sorted(locals_) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_dim0_fastest(self):
+        r = NDRange.create((4, 2), (2, 1))
+        groups = list(r.group_ids())
+        assert groups[0] == (0, 0)
+        assert groups[1] == (1, 0)

@@ -1,0 +1,69 @@
+"""Device spec presets: the paper's hardware, pinned as data."""
+
+import pytest
+
+from repro import ocl
+from repro.ocl.spec import DeviceSpec
+
+
+class TestPresets:
+    def test_tesla_t10_matches_paper_s1070(self):
+        # §4: "Each GPU comprises 240 streaming processor cores running
+        # at 1.44 GHz ... 4 GB per GPU ... 102 GB/s per GPU".
+        spec = ocl.TESLA_T10
+        assert spec.processing_elements == 240
+        assert spec.clock_ghz == pytest.approx(1.44)
+        assert spec.global_mem_bytes == 4 << 30
+        assert spec.global_bandwidth_gbs == pytest.approx(102.0)
+
+    def test_fermi_matches_paper_sobel_gpu(self):
+        # §4.2: "one NVIDIA Tesla GPU with 480 processing elements and
+        # 4 GByte memory".
+        spec = ocl.TESLA_FERMI_480
+        assert spec.processing_elements == 480
+        assert spec.global_mem_bytes == 4 << 30
+
+    def test_with_replaces_fields(self):
+        spec = ocl.TESLA_T10.with_(efficiency=1.3)
+        assert spec.efficiency == pytest.approx(1.3)
+        assert spec.processing_elements == ocl.TESLA_T10.processing_elements
+        assert ocl.TESLA_T10.efficiency == 1.0  # original untouched
+
+    def test_specs_are_immutable(self):
+        with pytest.raises(Exception):
+            ocl.TESLA_T10.clock_ghz = 2.0
+
+    def test_s1070_aggregate_bandwidth(self):
+        # The paper: "dedicated 16 GB of memory (4 GB per GPU) is
+        # accessed with up to 408 GB/s (102 GB/s per GPU)" — four T10s.
+        platform = ocl.Platform(ocl.TESLA_T10, 4)
+        total_mem = sum(d.global_mem_size for d in platform.devices)
+        total_bw = sum(d.spec.global_bandwidth_gbs for d in platform.devices)
+        assert total_mem == 16 << 30
+        assert total_bw == pytest.approx(408.0)
+
+
+class TestPlatformAndDevices:
+    def test_platform_creates_indexed_devices(self):
+        platform = ocl.Platform(ocl.TEST_DEVICE, 3)
+        assert [d.index for d in platform.devices] == [0, 1, 2]
+        assert all("Test device" in d.name for d in platform.devices)
+
+    def test_platform_requires_devices(self):
+        with pytest.raises(ValueError):
+            ocl.Platform(ocl.TEST_DEVICE, 0)
+
+    def test_context_from_platform_or_list(self):
+        platform = ocl.Platform(ocl.TEST_DEVICE, 2)
+        from_platform = ocl.Context(platform)
+        from_list = ocl.Context(platform.devices[:1])
+        assert from_platform.num_devices == 2
+        assert from_list.num_devices == 1
+
+    def test_queue_for_device(self):
+        context = ocl.Context.create(ocl.TEST_DEVICE, 2)
+        queue = context.queue_for(context.devices[1])
+        assert queue is context.queues[1]
+        other = ocl.Context.create(ocl.TEST_DEVICE, 1)
+        with pytest.raises(ocl.InvalidValue):
+            context.queue_for(other.devices[0])

@@ -1,0 +1,88 @@
+"""Skeleton pipelines across element dtypes (the container type system)."""
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+from repro.skelcl import Map, Matrix, Reduce, Scan, Vector, Zip
+from repro.skelcl.runtime import SkelCLError
+from repro.skelcl.types_ import ctype_for_dtype, dtype_for_cname
+
+
+class TestTypeMapping:
+    @pytest.mark.parametrize("dtype,cname", [
+        (np.int8, "char"), (np.uint8, "uchar"),
+        (np.int16, "short"), (np.uint16, "ushort"),
+        (np.int32, "int"), (np.uint32, "uint"),
+        (np.int64, "long"), (np.uint64, "ulong"),
+        (np.float32, "float"), (np.float64, "double"),
+    ])
+    def test_dtype_roundtrip(self, dtype, cname):
+        ctype = ctype_for_dtype(dtype)
+        assert ctype.name == cname
+        assert dtype_for_cname(cname) == np.dtype(dtype)
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            ctype_for_dtype(np.complex64)
+
+
+class TestDoublePrecision:
+    def test_double_map(self, runtime_2gpu, rng):
+        square = Map("double func(double x) { return x * x; }")
+        data = rng.rand(60).astype(np.float64)
+        np.testing.assert_allclose(
+            square(Vector(data=data)).to_numpy(), data * data, rtol=1e-12
+        )
+
+    def test_double_reduce_precision(self, runtime_1gpu):
+        # float32 would lose these low-order bits; double must not.
+        data = np.full(1000, 1e-10, dtype=np.float64)
+        data[0] = 1.0
+        total = Reduce("double func(double a, double b) { return a + b; }")
+        value = total(Vector(data=data)).get_value()
+        assert value == pytest.approx(1.0 + 999e-10, rel=1e-12)
+
+    def test_double_scan(self, runtime_2gpu, rng):
+        data = rng.rand(300).astype(np.float64)
+        prefix = Scan("double func(double a, double b) { return a + b; }")
+        np.testing.assert_allclose(
+            prefix(Vector(data=data)).to_numpy(), np.cumsum(data), rtol=1e-10
+        )
+
+
+class TestSmallIntegers:
+    def test_uchar_zip_wraps(self, runtime_2gpu):
+        add = Zip("uchar func(uchar a, uchar b) { return a + b; }")
+        a = np.array([200, 100, 255], np.uint8)
+        b = np.array([100, 100, 1], np.uint8)
+        out = add(Vector(data=a), Vector(data=b)).to_numpy()
+        np.testing.assert_array_equal(out, np.array([44, 200, 0], np.uint8))
+
+    def test_short_map(self, runtime_1gpu):
+        negate = Map("short func(short x) { return -x; }")
+        data = np.array([-32768, 0, 32767], np.int16)
+        out = negate(Vector(data=data)).to_numpy()
+        # -(-32768) wraps back to -32768 in int16.
+        np.testing.assert_array_equal(out, np.array([-32768, 0, -32767], np.int16))
+
+    def test_ulong_reduce(self, runtime_2gpu):
+        data = np.arange(1, 101, dtype=np.uint64) * np.uint64(10**9)
+        total = Reduce("ulong func(ulong a, ulong b) { return a + b; }")
+        assert total(Vector(data=data)).get_value() == int(data.sum())
+
+    def test_mixed_width_pipeline(self, runtime_2gpu):
+        # uchar -> int widening -> long accumulation.
+        widen = Map("int func(uchar x) { return x; }")
+        scale = Map("long func(int x) { return (long)x * 1000000000; }")
+        total = Reduce("long func(long a, long b) { return a + b; }")
+        data = np.array([1, 2, 3, 4], np.uint8)
+        result = total(scale(widen(Vector(data=data)))).get_value()
+        assert result == 10 * 10**9
+
+    def test_matrix_int16(self, runtime_2gpu, rng):
+        double = Map("short func(short x) { return 2 * x; }")
+        data = rng.randint(-1000, 1000, (6, 5)).astype(np.int16)
+        np.testing.assert_array_equal(
+            double(Matrix(data=data)).to_numpy(), (2 * data).astype(np.int16)
+        )

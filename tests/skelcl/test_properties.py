@@ -1,0 +1,108 @@
+"""Hypothesis property tests over the SkelCL core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.skelcl import Block, Copy, Map, Overlap, Reduce, Scan, Single, Vector, Zip
+
+
+@pytest.fixture(scope="module", autouse=True)
+def module_runtime():
+    skelcl.init(num_devices=3, spec=ocl.TEST_DEVICE)
+    yield
+    skelcl.terminate()
+
+
+_DISTRIBUTIONS = st.sampled_from([
+    Single(), Single(1), Copy(), Block(), Overlap(1), Overlap(7),
+])
+
+
+class TestContainerIntegrity:
+    @given(
+        size=st.integers(1, 300),
+        sequence=st.lists(_DISTRIBUTIONS, min_size=1, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_data_survives_any_redistribution_sequence(self, size, sequence):
+        data = np.arange(size, dtype=np.float32)
+        vec = Vector(data=data)
+        for distribution in sequence:
+            vec.ensure_on_devices(distribution)
+            vec.mark_written_on_devices()  # force the next change to move data
+            np.testing.assert_array_equal(vec.to_numpy(), data)
+        np.testing.assert_array_equal(vec.to_numpy(), data)
+
+    @given(
+        size=st.integers(1, 200),
+        writes=st.lists(st.tuples(st.integers(0, 199), st.floats(-100, 100, width=32)),
+                        min_size=0, max_size=8),
+        distribution=_DISTRIBUTIONS,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_host_writes_visible_after_device_roundtrip(self, size, writes, distribution):
+        reference = np.zeros(size, dtype=np.float32)
+        vec = Vector(size)
+        vec.ensure_on_devices(distribution)
+        for index, value in writes:
+            index %= size
+            reference[index] = np.float32(value)
+            vec[index] = value  # host write invalidates device copies
+        vec.ensure_on_devices(distribution)
+        vec.mark_written_on_devices()
+        np.testing.assert_array_equal(vec.to_numpy(), reference)
+
+
+class TestSkeletonAlgebra:
+    @given(data=st.lists(st.floats(-10, 10, width=32), min_size=1, max_size=400))
+    @settings(max_examples=30, deadline=None)
+    def test_scan_last_equals_reduce(self, data):
+        array = np.array(data, dtype=np.float32)
+        prefix = Scan("float f(float a, float b) { return a + b; }")
+        total = Reduce("float f(float a, float b) { return a + b; }")
+        scanned = prefix(Vector(data=array)).to_numpy()
+        reduced = total(Vector(data=array)).get_value()
+        assert scanned[-1] == pytest.approx(reduced, rel=1e-3, abs=1e-3)
+
+    @given(data=st.lists(st.integers(-1000, 1000), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_reduce_max_matches_numpy(self, data):
+        array = np.array(data, dtype=np.int32)
+        peak = Reduce("int f(int a, int b) { return a > b ? a : b; }",
+                      identity="-2147483648")
+        assert peak(Vector(data=array)).get_value() == array.max()
+
+    @given(data=st.lists(st.floats(-5, 5, width=32), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_map_composition_equals_fused(self, data):
+        array = np.array(data, dtype=np.float32)
+        double = Map("float f(float x) { return 2.0f * x; }")
+        add_one = Map("float f(float x) { return x + 1.0f; }")
+        fused = Map("float f(float x) { return 2.0f * x + 1.0f; }")
+        composed = add_one(double(Vector(data=array))).to_numpy()
+        direct = fused(Vector(data=array)).to_numpy()
+        np.testing.assert_allclose(composed, direct, rtol=1e-6)
+
+    @given(data=st.lists(st.floats(-5, 5, width=32), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_zip_with_self_equals_map(self, data):
+        array = np.array(data, dtype=np.float32)
+        add = Zip("float f(float a, float b) { return a + b; }")
+        double = Map("float f(float x) { return x + x; }")
+        vec = Vector(data=array)
+        zipped = add(vec, Vector(data=array)).to_numpy()
+        mapped = double(Vector(data=array)).to_numpy()
+        np.testing.assert_allclose(zipped, mapped, rtol=1e-6)
+
+    @given(
+        data=st.lists(st.integers(-50, 50), min_size=1, max_size=257),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scan_prefix_property(self, data):
+        array = np.array(data, dtype=np.int32)
+        prefix = Scan("int f(int a, int b) { return a + b; }")
+        scanned = prefix(Vector(data=array)).to_numpy()
+        np.testing.assert_array_equal(scanned, np.cumsum(array, dtype=np.int32))

@@ -1,0 +1,106 @@
+"""Property tests for MapOverlap: random stencils vs numpy convolution,
+and the deep-recursion paths of Scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.skelcl import BoundaryMode, MapOverlap, Matrix, Scan, Vector
+
+
+@pytest.fixture(scope="module", autouse=True)
+def module_runtime():
+    skelcl.init(num_devices=2, spec=ocl.TEST_DEVICE)
+    yield
+    skelcl.terminate()
+
+
+def stencil_source(weights) -> str:
+    """Generate a MapOverlap customizing function for a 3x3 weight grid."""
+    terms = []
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            weight = weights[di + 1][dj + 1]
+            if weight != 0:
+                terms.append(f"({weight}.0f * get(m, {dj}, {di}))")
+    body = " + ".join(terms) if terms else "0.0f"
+    return f"float func(const float* m) {{ return {body}; }}"
+
+
+def stencil_reference(image, weights, mode):
+    padded = np.pad(
+        image.astype(np.float64), 1,
+        mode="edge" if mode is BoundaryMode.NEAREST else "constant",
+    )
+    h, w = image.shape
+    out = np.zeros((h, w), dtype=np.float64)
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            weight = weights[di + 1][dj + 1]
+            if weight != 0:
+                out += weight * padded[1 + di : 1 + di + h, 1 + dj : 1 + dj + w]
+    return out.astype(np.float32)
+
+
+_WEIGHTS = st.lists(
+    st.lists(st.integers(-3, 3), min_size=3, max_size=3), min_size=3, max_size=3
+)
+
+
+class TestRandomStencils:
+    @given(
+        weights=_WEIGHTS,
+        rows=st.integers(3, 24),
+        cols=st.integers(3, 24),
+        mode=st.sampled_from([BoundaryMode.NEUTRAL, BoundaryMode.NEAREST]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_generated_stencil_matches_numpy(self, weights, rows, cols, mode):
+        rng = np.random.RandomState(rows * 31 + cols)
+        image = rng.rand(rows, cols).astype(np.float32)
+        stencil = MapOverlap(stencil_source(weights), 1, mode, 0.0)
+        result = stencil(Matrix(data=image)).to_numpy()
+        expected = stencil_reference(image, weights, mode)
+        np.testing.assert_allclose(result, expected, rtol=1e-4, atol=1e-5)
+
+    @given(
+        taps=st.lists(st.integers(-2, 2), min_size=3, max_size=3),
+        n=st.integers(3, 200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_vector_stencils_match_numpy(self, taps, n):
+        rng = np.random.RandomState(n)
+        data = rng.rand(n).astype(np.float32)
+        terms = " + ".join(
+            f"({t}.0f * get(v, {d}))" for t, d in zip(taps, (-1, 0, 1)) if t != 0
+        ) or "0.0f"
+        stencil = MapOverlap(f"float f(const float* v) {{ return {terms}; }}",
+                             1, BoundaryMode.NEUTRAL, 0.0)
+        result = stencil(Vector(data=data)).to_numpy()
+        padded = np.pad(data.astype(np.float64), 1)
+        expected = sum(
+            t * padded[1 + d : 1 + d + n] for t, d in zip(taps, (-1, 0, 1))
+        )
+        if isinstance(expected, int):  # all taps zero
+            expected = np.zeros(n)
+        np.testing.assert_allclose(result, expected.astype(np.float32), rtol=1e-4, atol=1e-5)
+
+
+class TestScanDepth:
+    def test_recursive_block_sums_scan(self):
+        # > 256^2 elements forces a second recursion level in the
+        # block-sums scan.
+        n = 70_000
+        data = np.ones(n, dtype=np.int32)
+        prefix = Scan("int f(int a, int b) { return a + b; }")
+        result = prefix(Vector(data=data)).to_numpy()
+        np.testing.assert_array_equal(result, np.arange(1, n + 1, dtype=np.int32))
+
+    def test_large_random_scan(self):
+        rng = np.random.RandomState(0)
+        data = rng.randint(-3, 4, 66_000).astype(np.int32)
+        prefix = Scan("int f(int a, int b) { return a + b; }")
+        result = prefix(Vector(data=data)).to_numpy()
+        np.testing.assert_array_equal(result, np.cumsum(data, dtype=np.int32))

@@ -1,0 +1,80 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Each example is executed in-process (runpy) with small arguments; these
+tests keep the examples from rotting as the library evolves.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.skelcl as skelcl
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime(tmp_path, monkeypatch):
+    # Examples write output files (PGM images) into the cwd.
+    monkeypatch.chdir(tmp_path)
+    yield
+    if skelcl.is_initialized():
+        skelcl.terminate()
+
+
+def run_example(name: str, *argv: str, capsys=None) -> str:
+    script = EXAMPLES / name
+    assert script.exists(), f"missing example {name}"
+    old_argv = sys.argv
+    sys.argv = [str(script), *argv]
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys=capsys)
+        assert "dot product" in out
+        assert "numpy agrees = True" in out
+
+    def test_mandelbrot(self, capsys, tmp_path):
+        out = run_example("mandelbrot.py", "96", "64", capsys=capsys)
+        assert "simulated kernel time" in out
+        assert (tmp_path / "mandelbrot.pgm").exists()
+
+    def test_sobel(self, capsys):
+        out = run_example("sobel_edge_detection.py", "160", capsys=capsys)
+        assert "SkelCL:         True" in out
+        assert "static bounds proof: True" in out
+
+    def test_matrix_multiplication(self, capsys):
+        out = run_example("matrix_multiplication.py", capsys=capsys)
+        assert "speedup" in out
+        assert "4" in out
+
+    def test_distributions(self, capsys):
+        out = run_example("distributions.py", capsys=capsys)
+        assert "block -> copy redistribution moved" in out
+
+    def test_nbody(self, capsys):
+        out = run_example("nbody.py", "24", "5", capsys=capsys)
+        assert "drift" in out
+
+    def test_heat(self, capsys):
+        out = run_example("heat_diffusion.py", "32", "10", capsys=capsys)
+        assert "Jacobi sweeps" in out
+
+    def test_game_of_life(self, capsys):
+        out = run_example("game_of_life.py", "2", capsys=capsys)
+        assert "population:" in out
+        assert "static bounds proof: True" in out
+
+    def test_image_pipeline(self, capsys):
+        out = run_example("image_pipeline.py", "96", capsys=capsys)
+        assert "edge pixels:" in out
+        assert "device-resident" in out

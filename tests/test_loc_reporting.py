@@ -1,0 +1,128 @@
+"""Tests for the LoC accounting and report rendering utilities."""
+
+import pytest
+
+from repro.loc import LocCount, combined, count_loc, count_reference, reference_sources, strip_comments
+from repro.reporting import format_speedups, render_bars, render_table
+
+
+class TestStripComments:
+    def test_line_comments_removed(self):
+        assert strip_comments("int x; // note\nint y;") == "int x; \nint y;"
+
+    def test_block_comments_removed_preserving_lines(self):
+        source = "a /* one\ntwo */ b"
+        stripped = strip_comments(source)
+        assert stripped.count("\n") == source.count("\n")
+        assert "one" not in stripped and "two" not in stripped
+
+    def test_inline_block_comment(self):
+        assert strip_comments("int /* hi */ x;") == "int  x;"
+
+
+class TestCountLoc:
+    def test_blank_and_comment_lines_not_counted(self):
+        source = """
+// a comment
+
+int x;
+/* block
+   comment */
+int y;
+"""
+        count = count_loc(source)
+        assert count.total == 2
+        assert count.kernel == 0 and count.host == 2
+
+    def test_kernel_guards_split_counts(self):
+        source = """
+int host_line;
+// LOC: kernel begin
+int kernel_line_1;
+int kernel_line_2;
+// LOC: kernel end
+int other_host_line;
+"""
+        count = count_loc(source)
+        assert count.kernel == 2
+        assert count.host == 2
+        assert count.total == 4
+
+    def test_guard_lines_never_counted(self):
+        source = "// LOC: kernel begin\n// LOC: kernel end\n"
+        assert count_loc(source).total == 0
+
+    def test_trailing_comment_line_still_counted(self):
+        assert count_loc("int x; // trailing").total == 1
+
+    def test_combined(self):
+        total = combined(LocCount(10, 4, 6), LocCount(5, 1, 4))
+        assert total == LocCount(15, 5, 10)
+
+    def test_str(self):
+        assert str(LocCount(10, 4, 6)) == "10 LoC (kernel: 4, host: 6)"
+
+
+class TestReferenceSources:
+    def test_all_eight_sources_present(self):
+        names = set(reference_sources())
+        assert names == {
+            "dotproduct_opencl.c",
+            "dotproduct_skelcl.cpp",
+            "mandelbrot_cuda.cu",
+            "mandelbrot_opencl.c",
+            "mandelbrot_skelcl.cpp",
+            "sobel_amd.cl",
+            "sobel_nvidia.cl",
+            "sobel_skelcl.cpp",
+        }
+
+    def test_paper_counts_pinned(self):
+        # These are the paper's numbers; changing a reference source must
+        # not silently drift them.
+        expected = {
+            "mandelbrot_cuda.cu": (49, 28, 21),
+            "mandelbrot_opencl.c": (118, 28, 90),
+            "mandelbrot_skelcl.cpp": (57, 26, 31),
+            "dotproduct_opencl.c": (68, 9, 59),
+            "sobel_amd.cl": (37, 37, 0),
+            "sobel_nvidia.cl": (208, 208, 0),
+        }
+        for name, (total, kernel, host) in expected.items():
+            count = count_reference(name)
+            assert (count.total, count.kernel, count.host) == (total, kernel, host), name
+
+    def test_unknown_reference_raises(self):
+        with pytest.raises(FileNotFoundError):
+            count_reference("nonexistent.c")
+
+
+class TestRenderers:
+    def test_table_alignment(self):
+        table = render_table(["name", "value"], [("a", 1), ("longer", 22)], title="T")
+        lines = table.split("\n")
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert "22" in lines[4]
+        # Columns align: 'value' header starts where the values do.
+        assert lines[1].index("value") == lines[3].index("1")
+
+    def test_bars_scale_to_peak(self):
+        chart = render_bars({"big": 100.0, "small": 10.0}, unit="ms", width=50)
+        lines = chart.split("\n")
+        big_hashes = lines[0].count("#")
+        small_hashes = lines[1].count("#")
+        assert big_hashes == 50
+        assert 4 <= small_hashes <= 6
+
+    def test_bars_include_reference(self):
+        chart = render_bars({"x": 1.0}, unit="ms", reference={"x": 2.0})
+        assert "paper: 2" in chart
+
+    def test_bars_empty(self):
+        assert "(no data)" in render_bars({}, title="empty")
+
+    def test_speedups(self):
+        table = format_speedups({1: 2e6, 2: 1e6, 4: 0.5e6})
+        assert "1.00x" in table and "2.00x" in table and "4.00x" in table
+        assert "2.000 ms" in table
