@@ -17,7 +17,9 @@ from repro.reporting import render_table
 
 
 def transfer_bytes(runtime) -> int:
-    return sum(q.total_transfer_bytes for q in runtime.queues)
+    # Host-link traffic only: device-local copies issued by in-place
+    # redistributions count into total_transfer_bytes but not here.
+    return sum(q.total_pcie_bytes for q in runtime.queues)
 
 
 def main() -> None:

@@ -44,9 +44,9 @@ def main() -> None:
     print(preview(result.grid))
 
     kernel_ms = max(q.total_kernel_ns for q in runtime.queues) / 1e6
-    moved = sum(q.total_transfer_bytes for q in runtime.queues) / 1024
+    moved = sum(q.total_pcie_bytes for q in runtime.queues) / 1024
     print(f"\nsimulated kernel time: {kernel_ms:.3f} ms on {runtime.num_devices} GPUs; "
-          f"transfers: {moved:.0f} KiB (halo exchanges between sweeps)")
+          f"PCIe traffic: {moved:.0f} KiB (halo exchanges between sweeps)")
     skelcl.terminate()
 
 

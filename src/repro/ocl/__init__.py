@@ -31,7 +31,7 @@ from .errors import (
     OclError,
     OutOfResources,
 )
-from .event import Event
+from .event import Event, EventStatus, wait_for_events
 from .executor import ExecutionResult, execute_ndrange
 from .kernel import Kernel
 from .ndrange import NDRange
@@ -48,6 +48,7 @@ __all__ = [
     "Device",
     "DeviceSpec",
     "Event",
+    "EventStatus",
     "ExecutionResult",
     "InvalidKernelArgs",
     "InvalidValue",
@@ -67,4 +68,5 @@ __all__ = [
     "kernel_time_ns",
     "peer_transfer_time_ns",
     "transfer_time_ns",
+    "wait_for_events",
 ]

@@ -50,8 +50,9 @@ class Context:
     # -- simulated wall-clock ---------------------------------------------
 
     def elapsed_ns(self) -> int:
-        """Simulated wall-clock: devices run concurrently, so the elapsed
-        time is the maximum over all queue timelines."""
+        """Simulated wall-clock: resolves all pending commands; devices
+        run concurrently, so the elapsed time is the maximum over all
+        queue timelines."""
         return max(queue.time_ns for queue in self.queues)
 
     def reset_timelines(self) -> None:
@@ -59,9 +60,13 @@ class Context:
             queue.reset_timeline()
 
     def finish_all(self) -> int:
+        """Resolve the whole command graph (cf. ``clFinish`` on every
+        queue) and return the critical-path elapsed time: the latest
+        completion timestamp over all devices' engines, with overlapped
+        commands counted once."""
         for queue in self.queues:
-            queue.finish()
-        return self.elapsed_ns()
+            queue.flush()
+        return max(queue.time_ns for queue in self.queues)
 
     def release(self) -> None:
         for buffer in self._buffers:

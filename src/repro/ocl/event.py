@@ -1,30 +1,95 @@
-"""Events with profiling information (simulated nanoseconds).
+"""Events: profiling records *and* dependency handles (simulated ns).
 
-Mirrors the OpenCL profiling API the paper uses for Fig. 5: an event
-records when a command was queued, submitted, started and finished on
-its device's simulated timeline.
+Mirrors the OpenCL event model the paper's asynchronous execution story
+relies on (§4): every enqueued command returns an :class:`Event` that
+
+* carries the four OpenCL profiling timestamps
+  (``CL_PROFILING_COMMAND_{QUEUED,SUBMIT,START,END}``),
+* walks the ``queued → submitted → running → complete`` lifecycle,
+* names the commands it must wait for (its ``wait_for`` list — the
+  ``event_wait_list`` of the ``clEnqueue*`` call that created it), and
+* can be waited on (``event.wait()``, cf. ``clWaitForEvents``).
+
+Commands are *deferred*: enqueueing records the command and its planned
+duration, but timestamps are only assigned when the event graph is
+resolved — by ``event.wait()``, ``queue.finish()`` or
+``Context.finish_all()``.  Resolution schedules each command at
+``max(engine-ready time, completion of its wait list)`` on its device's
+compute or transfer engine, so independent commands overlap exactly as
+on real hardware.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional, Sequence, Union
+
+
+class EventStatus(enum.Enum):
+    """Host-visible command lifecycle (cf. ``CL_{QUEUED,SUBMITTED,RUNNING,COMPLETE}``)."""
+
+    QUEUED = "queued"        # enqueued, timestamps not yet resolved
+    SUBMITTED = "submitted"  # wait list satisfied, waiting for its engine
+    RUNNING = "running"      # occupying its engine (transient during resolution)
+    COMPLETE = "complete"    # timestamps assigned
+
+
+# Engines a device executes commands on.  Kernels run on the compute
+# engine; host↔device and device-local copies on the transfer (DMA)
+# engine.  The two engines advance independently, which is what lets a
+# kernel overlap a PCIe transfer.  Markers/barriers are synchronization
+# points that occupy no engine.
+COMPUTE_ENGINE = "compute"
+TRANSFER_ENGINE = "transfer"
+SYNC_ENGINE = "sync"
+
+ENGINE_OF_COMMAND = {
+    "ndrange_kernel": COMPUTE_ENGINE,
+    "write_buffer": TRANSFER_ENGINE,
+    "read_buffer": TRANSFER_ENGINE,
+    "copy_buffer": TRANSFER_ENGINE,
+    "marker": SYNC_ENGINE,
+    "barrier": SYNC_ENGINE,
+}
 
 
 @dataclass
 class Event:
-    command_type: str  # 'ndrange_kernel', 'write_buffer', 'read_buffer', 'copy_buffer'
+    command_type: str  # 'ndrange_kernel', 'write_buffer', 'read_buffer', 'copy_buffer', 'marker', 'barrier'
     name: str
     queued_ns: int = 0
     submit_ns: int = 0
     start_ns: int = 0
     end_ns: int = 0
-    # Free-form statistics (ops, memory traffic, groups executed...).
-    info: Dict[str, float] = field(default_factory=dict)
+    # Free-form per-command statistics.  Values are integer counters
+    # except where noted; standard keys:
+    #
+    #   kernels:   'ops', 'warp_ops', 'global_loads', 'global_stores',
+    #              'global_bytes', 'local_loads', 'local_stores',
+    #              'barriers', 'work_items', 'groups_total',
+    #              'groups_executed' (ints)
+    #   transfers: 'bytes' (int)
+    #   skeletons: 'device_index' (int, which simulated GPU ran it)
+    info: Dict[str, Union[int, float]] = field(default_factory=dict)
+    # Dependency edges: this command may not start before every event in
+    # the list is complete (the enqueue call's ``event_wait_list``).
+    wait_for: List["Event"] = field(default_factory=list)
+    status: EventStatus = EventStatus.COMPLETE
+    # Which engine of the device executes the command.
+    engine: str = COMPUTE_ENGINE
+    device_index: int = 0
+    # Planned duration, known at enqueue time; authoritative until the
+    # scheduler assigns start/end.
+    planned_ns: int = 0
+    # Back-pointer to the owning queue (None for hand-built events).
+    _queue: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def duration_ns(self) -> int:
-        return self.end_ns - self.start_ns
+        if self.status is EventStatus.COMPLETE:
+            return self.end_ns - self.start_ns
+        return self.planned_ns
 
     @property
     def duration_us(self) -> float:
@@ -34,5 +99,44 @@ class Event:
     def duration_ms(self) -> float:
         return self.duration_ns / 1e6
 
+    @property
+    def is_complete(self) -> bool:
+        return self.status is EventStatus.COMPLETE
+
+    def wait(self) -> int:
+        """Resolve this event (and, transitively, everything it depends
+        on), cf. ``clWaitForEvents`` on a single event.  Returns the
+        completion timestamp ``end_ns``."""
+        if self.status is not EventStatus.COMPLETE:
+            if self._queue is not None:
+                self._queue._resolve_until(self)  # type: ignore[attr-defined]
+            else:
+                self.status = EventStatus.COMPLETE
+        return self.end_ns
+
+    def status_at(self, time_ns: int) -> EventStatus:
+        """The lifecycle state this command was in at simulated time
+        ``time_ns`` (resolves the event first)."""
+        self.wait()
+        if time_ns < self.submit_ns:
+            return EventStatus.QUEUED
+        if time_ns < self.start_ns:
+            return EventStatus.SUBMITTED
+        if time_ns < self.end_ns:
+            return EventStatus.RUNNING
+        return EventStatus.COMPLETE
+
     def __repr__(self) -> str:
-        return f"<Event {self.command_type} {self.name!r} {self.duration_ms:.4f} ms>"
+        return (
+            f"<Event {self.command_type} {self.name!r} [{self.status.value}] "
+            f"{self.duration_ms:.4f} ms>"
+        )
+
+
+def wait_for_events(events: Sequence[Event]) -> int:
+    """``clWaitForEvents``: resolve all of ``events``; returns the latest
+    completion timestamp (0 for an empty sequence)."""
+    latest = 0
+    for event in events:
+        latest = max(latest, event.wait())
+    return latest

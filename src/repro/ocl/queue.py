@@ -1,16 +1,36 @@
-"""In-order command queues with a simulated device timeline.
+"""Command queues scheduling an asynchronous command graph.
 
-Every enqueued command advances the queue's clock by the duration the
-analytic timing model assigns to it, and returns an :class:`Event`
-carrying OpenCL-style profiling timestamps.  Different queues (different
-devices) advance independently — multi-GPU wall-clock time is the
-maximum over the involved queues, which :class:`repro.ocl.context.Context`
-computes.
+Enqueueing a command executes its *data* effects immediately (so results
+stay checkable) but defers its *timeline*: the command enters a pending
+list with a planned duration, a wait list, and status ``QUEUED``.  The
+scheduler resolves timestamps lazily — on ``event.wait()``,
+``queue.finish()``, any read of ``queue.time_ns``, or
+``Context.finish_all()`` — by assigning each command
+
+    start = max(engine-ready time, completion of its wait list)
+
+on one of the device's two engines: *compute* (kernels) or *transfer*
+(host↔device and device-local copies).  The engines advance
+independently, so a kernel overlaps a PCIe transfer exactly as real
+hardware overlaps them, and cross-queue wait lists model inter-GPU
+dependency edges (redistribution, halo exchange).
+
+Ordering rules mirror OpenCL 1.x in-order queues with events:
+
+* ``event_wait_list=None`` (the default) keeps the classic in-order
+  behaviour — the command implicitly depends on the previously enqueued
+  command of the same queue, fully serializing the queue.
+* ``event_wait_list=[...]`` (possibly empty) makes the dependencies
+  explicit: the command waits for exactly those events (plus any active
+  barrier) and may otherwise overlap other commands of the same device.
+* ``enqueue_marker``/``enqueue_barrier`` are zero-duration sync points;
+  a barrier additionally gates every subsequently enqueued command.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,7 +38,14 @@ from ..kernelc.execmodel import ExecutionCounters
 from .buffer import Buffer
 from .device import Device
 from .errors import InvalidValue
-from .event import Event
+from .event import (
+    COMPUTE_ENGINE,
+    ENGINE_OF_COMMAND,
+    Event,
+    EventStatus,
+    SYNC_ENGINE,
+    TRANSFER_ENGINE,
+)
 from .executor import execute_ndrange
 from .kernel import Kernel
 from .ndrange import NDRange
@@ -29,35 +56,116 @@ class CommandQueue:
     def __init__(self, device: Device, profiling: bool = True):
         self.device = device
         self.profiling = profiling
-        self.time_ns = 0
         self.events: List[Event] = []
-        # Aggregate statistics over the queue's lifetime.
+        # Scheduler state: commands whose timestamps are unresolved, the
+        # ready time of each engine, and the last command per engine /
+        # overall (for markers and implicit in-order dependencies).
+        self._pending: Deque[Event] = deque()
+        self._engine_ready: Dict[str, int] = {COMPUTE_ENGINE: 0, TRANSFER_ENGINE: 0}
+        self._engine_tail: Dict[str, Optional[Event]] = {
+            COMPUTE_ENGINE: None,
+            TRANSFER_ENGINE: None,
+        }
+        self._last_event: Optional[Event] = None
+        self._barrier: Optional[Event] = None
+        self._horizon = 0  # latest resolved end_ns on this queue
+        # Aggregate statistics over the queue's lifetime.  ``transfer``
+        # covers every data-movement command (write/read/copy);
+        # ``pcie`` only the commands crossing the host link (write/read).
         self.total_kernel_ns = 0
         self.total_transfer_ns = 0
         self.total_transfer_bytes = 0
+        self.total_pcie_ns = 0
+        self.total_pcie_bytes = 0
 
     # -- timeline -----------------------------------------------------------
 
+    @property
+    def time_ns(self) -> int:
+        """The queue clock: resolves all pending commands and returns the
+        time the last of them completes."""
+        self.flush()
+        return self._horizon
+
     def reset_timeline(self) -> None:
-        self.time_ns = 0
         self.events.clear()
+        self._pending.clear()
+        self._engine_ready = {COMPUTE_ENGINE: 0, TRANSFER_ENGINE: 0}
+        self._engine_tail = {COMPUTE_ENGINE: None, TRANSFER_ENGINE: None}
+        self._last_event = None
+        self._barrier = None
+        self._horizon = 0
         self.total_kernel_ns = 0
         self.total_transfer_ns = 0
         self.total_transfer_bytes = 0
+        self.total_pcie_ns = 0
+        self.total_pcie_bytes = 0
+
+    def flush(self) -> None:
+        """Resolve every pending command's timestamps."""
+        while self._pending:
+            self._schedule(self._pending.popleft())
 
     def finish(self) -> int:
         """Block until all commands complete; returns the queue clock."""
         return self.time_ns
 
-    def _record(self, event: Event, duration_ns: int) -> Event:
-        event.queued_ns = self.time_ns
-        event.submit_ns = self.time_ns
-        event.start_ns = self.time_ns
-        event.end_ns = self.time_ns + duration_ns
-        self.time_ns = event.end_ns
+    # -- scheduling ---------------------------------------------------------
+
+    def _submit(self, event: Event, duration_ns: int,
+                wait_for: Optional[Sequence[Event]]) -> Event:
+        """Record ``event`` as pending with its dependency edges."""
+        event._queue = self
+        event.planned_ns = int(duration_ns)
+        event.engine = ENGINE_OF_COMMAND[event.command_type]
+        event.device_index = self.device.index
+        event.status = EventStatus.QUEUED
+        if wait_for is None:
+            # Classic in-order queue: serialize behind the previous command.
+            deps = [self._last_event] if self._last_event is not None else []
+        else:
+            deps = [dep for dep in wait_for if dep is not None]
+            if self._barrier is not None and self._barrier not in deps:
+                deps.append(self._barrier)
+        event.wait_for = deps
+        self._pending.append(event)
+        self._last_event = event
+        if event.engine in self._engine_tail:
+            self._engine_tail[event.engine] = event
         if self.profiling:
             self.events.append(event)
         return event
+
+    def _resolve_until(self, target: Event) -> None:
+        """Resolve pending commands (in order) until ``target`` is complete."""
+        while self._pending and target.status is not EventStatus.COMPLETE:
+            self._schedule(self._pending.popleft())
+
+    def _schedule(self, event: Event) -> None:
+        if event.status is EventStatus.COMPLETE:
+            return
+        # Wait-list events may live on other queues: resolving them first
+        # is what creates the cross-device dependency edges.  Wait lists
+        # can only reference already-enqueued events, so the global
+        # enqueue order is a topological order and this recursion
+        # terminates.
+        deps_end = 0
+        for dep in event.wait_for:
+            deps_end = max(deps_end, dep.wait())
+        if event.engine is SYNC_ENGINE or event.engine not in self._engine_ready:
+            event.queued_ns = deps_end
+            event.submit_ns = deps_end
+            event.start_ns = deps_end
+            event.end_ns = deps_end + event.planned_ns
+        else:
+            ready = self._engine_ready[event.engine]
+            event.queued_ns = ready
+            event.submit_ns = max(ready, deps_end)
+            event.start_ns = event.submit_ns
+            event.end_ns = event.start_ns + event.planned_ns
+            self._engine_ready[event.engine] = event.end_ns
+        event.status = EventStatus.COMPLETE
+        self._horizon = max(self._horizon, event.end_ns)
 
     # -- commands -------------------------------------------------------------
 
@@ -67,6 +175,7 @@ class CommandQueue:
         global_size,
         local_size=None,
         sample_fraction: Optional[float] = None,
+        event_wait_list: Optional[Sequence[Event]] = None,
     ) -> Event:
         """Launch ``kernel``; returns the profiling event."""
         ndrange = NDRange.create(global_size, local_size, self.device.max_work_group_size)
@@ -95,28 +204,33 @@ class CommandQueue:
             groups_total=result.groups_total,
             groups_executed=result.groups_executed,
         )
-        self._record(event, duration)
+        self._submit(event, duration, event_wait_list)
         self.total_kernel_ns += duration
         return event
 
     def enqueue_write_buffer(self, buffer: Buffer, data: np.ndarray, blocking: bool = True,
-                             offset_bytes: int = 0) -> Event:
+                             offset_bytes: int = 0,
+                             event_wait_list: Optional[Sequence[Event]] = None) -> Event:
         if buffer.device is not self.device:
             raise InvalidValue("buffer belongs to a different device than this queue")
         nbytes = buffer.write_from_host(data, offset_bytes)
         duration = transfer_time_ns(self.device.spec, nbytes)
         event = Event("write_buffer", buffer.name or "buffer", info={"bytes": nbytes})
-        self._record(event, duration)
+        self._submit(event, duration, event_wait_list)
         self.total_transfer_ns += duration
         self.total_transfer_bytes += nbytes
+        self.total_pcie_ns += duration
+        self.total_pcie_bytes += nbytes
         return event
 
     def enqueue_copy_buffer(self, src: Buffer, dst: Buffer, nbytes: int,
-                            src_offset_bytes: int = 0, dst_offset_bytes: int = 0) -> Event:
+                            src_offset_bytes: int = 0, dst_offset_bytes: int = 0,
+                            event_wait_list: Optional[Sequence[Event]] = None) -> Event:
         """Device-local buffer-to-buffer copy (clEnqueueCopyBuffer).
 
         Both buffers must live on this queue's device; the copy costs
-        global-memory bandwidth (read + write), never the PCIe link.
+        global-memory bandwidth (read + write), never the PCIe link —
+        it counts into ``total_transfer_*`` but not ``total_pcie_*``.
         """
         if src.device is not self.device or dst.device is not self.device:
             raise InvalidValue("copy_buffer requires both buffers on this queue's device")
@@ -126,24 +240,60 @@ class CommandQueue:
             2 * nbytes / self.device.spec.global_bandwidth_gbs + 1000  # +1us overhead
         )
         event = Event("copy_buffer", dst.name or "buffer", info={"bytes": nbytes})
-        self._record(event, duration)
+        self._submit(event, duration, event_wait_list)
+        self.total_transfer_ns += duration
+        self.total_transfer_bytes += nbytes
         return event
 
     def enqueue_read_buffer(self, buffer: Buffer, dtype, count: Optional[int] = None,
-                            offset_bytes: int = 0, blocking: bool = True):
+                            offset_bytes: int = 0, blocking: bool = True,
+                            event_wait_list: Optional[Sequence[Event]] = None):
         """Read back data; returns ``(array, event)``."""
         if buffer.device is not self.device:
             raise InvalidValue("buffer belongs to a different device than this queue")
         data = buffer.read_to_host(dtype, count, offset_bytes)
         duration = transfer_time_ns(self.device.spec, data.nbytes)
         event = Event("read_buffer", buffer.name or "buffer", info={"bytes": data.nbytes})
-        self._record(event, duration)
+        self._submit(event, duration, event_wait_list)
         self.total_transfer_ns += duration
         self.total_transfer_bytes += data.nbytes
+        self.total_pcie_ns += duration
+        self.total_pcie_bytes += data.nbytes
         return data, event
+
+    # -- synchronization commands -------------------------------------------
+
+    def enqueue_marker(self, event_wait_list: Optional[Sequence[Event]] = None) -> Event:
+        """A zero-duration event completing when its wait list does; with
+        no wait list, when everything previously enqueued has (cf.
+        ``clEnqueueMarkerWithWaitList``)."""
+        event = Event("marker", "marker")
+        wait_for = event_wait_list
+        if wait_for is None:
+            wait_for = [tail for tail in self._engine_tail.values() if tail is not None]
+        return self._submit(event, 0, wait_for)
+
+    def enqueue_barrier(self, event_wait_list: Optional[Sequence[Event]] = None) -> Event:
+        """Like a marker, but additionally gates every subsequently
+        enqueued command of this queue (cf. ``clEnqueueBarrier``)."""
+        event = self.enqueue_marker(event_wait_list)
+        event.command_type = "barrier"
+        event.name = "barrier"
+        self._barrier = event
+        return event
+
+    # -- profiling accessors --------------------------------------------------
 
     def kernel_events(self) -> List[Event]:
         return [e for e in self.events if e.command_type == "ndrange_kernel"]
 
+    def engine_events(self, engine: str) -> List[Event]:
+        """Profiled events assigned to ``engine`` ('compute'/'transfer')."""
+        return [e for e in self.events if e.engine == engine]
+
     def __repr__(self) -> str:
-        return f"<CommandQueue on {self.device.name} t={self.time_ns}ns>"
+        pending = len(self._pending)
+        return (
+            f"<CommandQueue on {self.device.name} horizon={self._horizon}ns "
+            f"pending={pending}>"
+        )

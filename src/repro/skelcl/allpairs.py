@@ -204,13 +204,16 @@ class AllPairs:
 
     @property
     def last_kernel_time_ns(self) -> int:
-        """Simulated kernel time of the most recent call (max over the
-        devices' per-device sums, as devices execute concurrently)."""
-        by_device = {}
-        for event in self.last_events:
-            device = event.info.get("device_index", 0)
-            by_device[device] = by_device.get(device, 0) + event.duration_ns
-        return max(by_device.values()) if by_device else 0
+        """Simulated kernel time of the most recent call: the
+        critical-path window (latest completion minus earliest start)
+        over the call's kernel events, as scheduled on the command
+        graph."""
+        kernels = [e for e in self.last_events if e.command_type == "ndrange_kernel"]
+        if not kernels:
+            return 0
+        for event in kernels:
+            event.wait()
+        return max(e.end_ns for e in kernels) - min(e.start_ns for e in kernels)
 
     # -- execution ----------------------------------------------------------------
 
@@ -247,8 +250,14 @@ class AllPairs:
             self._programs[source] = program
 
         b_by_device = {chunk.device_index: buffer for chunk, buffer in b_chunks}
+        b_events_by_device = {
+            chunk.device_index: b.chunk_events(position)
+            for position, (chunk, _buffer) in enumerate(b_chunks)
+        }
         local0 = local1 = self.tile if self.tiled else 16
-        for (a_chunk, a_buffer), (c_chunk, c_buffer) in zip(a_chunks, out_chunks):
+        for position, ((a_chunk, a_buffer), (c_chunk, c_buffer)) in enumerate(
+            zip(a_chunks, out_chunks)
+        ):
             rows = a_chunk.owned_size
             if rows == 0:
                 continue
@@ -256,8 +265,14 @@ class AllPairs:
             kernel.set_args(a_buffer, b_by_device[a_chunk.device_index], c_buffer, rows, m, d)
             global_size = (round_up(m, local0), round_up(rows, local1))
             queue = runtime.queue(a_chunk.device_index)
-            event = queue.enqueue_nd_range_kernel(kernel, global_size, (local0, local1))
+            event = queue.enqueue_nd_range_kernel(
+                kernel, global_size, (local0, local1),
+                event_wait_list=a.chunk_events(position)
+                + b_events_by_device.get(a_chunk.device_index, [])
+                + out.chunk_events(position),
+            )
             event.info["device_index"] = a_chunk.device_index
+            out.record_chunk_event(position, event)
             self.last_events.append(event)
         out.mark_written_on_devices()
         return out

@@ -10,6 +10,15 @@ that transparency:
   download/re-upload exchange the paper describes (§3.2) — all through
   the simulated command queues, so every implicit copy is accounted for
   in transfer time and bytes.
+
+Every implicit command is issued asynchronously with an explicit wait
+list: the container tracks, per device chunk, the events that gate the
+validity of that chunk's buffer (`chunk_events`), and the events that
+produced the current host copy.  Redistribution and halo exchange
+therefore become dependency *edges* in the command graph — a halo
+upload waits only on the neighbour's download, a kernel launch waits
+only on the uploads it actually reads — instead of implicit whole-queue
+synchronizations.
 """
 
 from __future__ import annotations
@@ -42,6 +51,12 @@ class Container:
         self._distribution: Optional[Distribution] = None
         self._chunks: List[Chunk] = []
         self._buffers: Dict[int, ocl.Buffer] = {}  # keyed by chunk position
+        # Dependency tracking for the asynchronous command graph: per
+        # chunk position, the events that must complete before the
+        # chunk's buffer holds valid data (uploads, halo writes, kernel
+        # writes); plus the downloads that produced the host copy.
+        self._chunk_events: Dict[int, List[ocl.Event]] = {}
+        self._host_events: List[ocl.Event] = []
         self.element_ctype = ctype_for_dtype(host.dtype)
 
     # -- public state -------------------------------------------------------
@@ -69,6 +84,18 @@ class Container:
     def _unit_slice(self, start: int, end: int) -> slice:
         return slice(start * self._unit_elements, end * self._unit_elements)
 
+    def chunk_events(self, position: int) -> List[ocl.Event]:
+        """The events gating the validity of chunk ``position``'s buffer
+        — what a kernel reading the chunk must put in its wait list."""
+        return list(self._chunk_events.get(position, []))
+
+    def record_chunk_event(self, position: int, event: ocl.Event) -> None:
+        """A command (typically a kernel launch) produced chunk
+        ``position``'s contents; later consumers wait on it.  The event
+        replaces the previous gate — launches are expected to carry the
+        prior chunk events in their own wait lists."""
+        self._chunk_events[position] = [event]
+
     def ensure_host(self) -> None:
         """Make the host copy up to date (implicit download)."""
         if self._host_valid:
@@ -77,6 +104,7 @@ class Container:
             raise SkelCLError("container has neither valid host nor device data")
         runtime = get_runtime()
         seen_units: set = set()
+        downloads: List[ocl.Event] = []
         for position, chunk in enumerate(self._chunks):
             if chunk.owned_size == 0:
                 continue
@@ -88,12 +116,15 @@ class Container:
             offset_units = chunk.owned_start - chunk.stored_start
             offset_bytes = offset_units * self._unit_elements * self._itembytes()
             count = chunk.owned_size * self._unit_elements
-            data, _event = queue.enqueue_read_buffer(
-                self._buffers[position], self._host.dtype, count, offset_bytes
+            data, event = queue.enqueue_read_buffer(
+                self._buffers[position], self._host.dtype, count, offset_bytes,
+                event_wait_list=self.chunk_events(position),
             )
+            downloads.append(event)
             self._host[self._unit_slice(chunk.owned_start, chunk.owned_end)] = data
             if self._distribution is not None and self._distribution.kind == "copy":
                 break  # all devices hold the same data
+        self._host_events = downloads
         self._host_valid = True
 
     def invalidate_devices(self) -> None:
@@ -156,6 +187,7 @@ class Container:
 
         unit_bytes = self._unit_elements * self._itembytes()
         new_buffers: Dict[int, ocl.Buffer] = {}
+        new_events: Dict[int, List[ocl.Event]] = {}
         for position, (old, new) in enumerate(zip(self._chunks, new_chunks)):
             device = runtime.devices[new.device_index]
             queue = runtime.queue(new.device_index)
@@ -163,38 +195,49 @@ class Container:
                 max(new.stored_size, 1) * unit_bytes, device,
                 name=f"{self.name or 'container'}[{position}]",
             )
+            gates: List[ocl.Event] = []
             if old.stored_size > 0:
-                queue.enqueue_copy_buffer(
+                copy_event = queue.enqueue_copy_buffer(
                     self._buffers[position],
                     buffer,
                     old.stored_size * unit_bytes,
                     0,
                     (old.stored_start - new.stored_start) * unit_bytes,
+                    event_wait_list=self.chunk_events(position),
                 )
-            # Fetch the missing halo units from their owners.
+                gates.append(copy_event)
+            # Fetch the missing halo units from their owners: each unit
+            # crosses the host link twice (owner download, consumer
+            # upload), and the upload waits only on its own download —
+            # halo exchanges of disjoint borders overlap freely.
             for lo, hi in ((new.stored_start, old.stored_start), (old.stored_end, new.stored_end)):
                 position_in_units = lo
                 while position_in_units < hi:
                     owner_position, owner = self._owner_of(position_in_units)
                     take = min(hi, owner.owned_end) - position_in_units
                     owner_queue = runtime.queue(owner.device_index)
-                    data, _event = owner_queue.enqueue_read_buffer(
+                    data, read_event = owner_queue.enqueue_read_buffer(
                         self._buffers[owner_position],
                         self._host.dtype,
                         take * self._unit_elements,
                         (position_in_units - owner.stored_start) * unit_bytes,
+                        event_wait_list=self.chunk_events(owner_position),
                     )
-                    queue.enqueue_write_buffer(
+                    write_event = queue.enqueue_write_buffer(
                         buffer,
                         np.ascontiguousarray(data),
                         offset_bytes=(position_in_units - new.stored_start) * unit_bytes,
+                        event_wait_list=[read_event],
                     )
+                    gates.append(write_event)
                     position_in_units += take
             new_buffers[position] = buffer
+            new_events[position] = gates
         for buffer in self._buffers.values():
             buffer.release()
         self._buffers = new_buffers
         self._chunks = new_chunks
+        self._chunk_events = new_events
         self._distribution = target
         return True
 
@@ -259,6 +302,7 @@ class Container:
         assert self._distribution is not None
         self._chunks = self._distribution.chunks(self._units, runtime.num_devices)
         self._buffers = {}
+        self._chunk_events = {}
         for position, chunk in enumerate(self._chunks):
             nbytes = max(chunk.stored_size, 1) * self._unit_elements * self._itembytes()
             device = runtime.devices[chunk.device_index]
@@ -270,12 +314,21 @@ class Container:
         if not self._buffers:
             self._allocate_buffers()
         runtime = get_runtime()
+        uploads: Dict[int, List[ocl.Event]] = {}
         for position, chunk in enumerate(self._chunks):
             if chunk.stored_size == 0:
                 continue
             queue = runtime.queue(chunk.device_index)
             data = self._host[self._unit_slice(chunk.stored_start, chunk.stored_end)]
-            queue.enqueue_write_buffer(self._buffers[position], data)
+            # Uploads to distinct devices depend only on the downloads
+            # that produced the host copy, so they overlap across
+            # devices' transfer engines.
+            event = queue.enqueue_write_buffer(
+                self._buffers[position], data,
+                event_wait_list=self._host_events,
+            )
+            uploads[position] = [event]
+        self._chunk_events = uploads
         self._device_valid = True
 
     def _drop_buffers(self) -> None:
@@ -283,3 +336,4 @@ class Container:
             buffer.release()
         self._buffers = {}
         self._chunks = []
+        self._chunk_events = {}

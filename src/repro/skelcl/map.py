@@ -136,14 +136,16 @@ class Map(Skeleton):
                                 f"skelcl_map_index_m_{self.user.name}")
         cols = index_matrix.cols
         local = (16, 16)
-        for chunk, out_buffer in out_chunks:
+        for position, (chunk, out_buffer) in enumerate(out_chunks):
             rows = chunk.owned_size
             if rows == 0:
                 continue
             kernel = program.create_kernel("skelcl_map_index_m")
             kernel.set_args(out_buffer, cols, rows, chunk.owned_start, *extras)
             global_size = (round_up(cols, local[0]), round_up(rows, local[1]))
-            self._enqueue(chunk.device_index, kernel, global_size, local, sample_fraction)
+            self._enqueue(chunk.device_index, kernel, global_size, local, sample_fraction,
+                          wait_for=out.chunk_events(position),
+                          output=out, output_position=position)
         out.mark_written_on_devices()
         return out
 
@@ -156,7 +158,7 @@ class Map(Skeleton):
             raise SkelCLError(f"output container dtype {out.dtype} does not match {self.out_type}")
         out_chunks = out.prepare_as_output(index_vector.distribution)
         program = self._program(self.index_kernel_source(), f"skelcl_map_index_{self.user.name}")
-        for chunk, out_buffer in out_chunks:
+        for position, (chunk, out_buffer) in enumerate(out_chunks):
             n = chunk.owned_size
             if n == 0:
                 continue
@@ -164,7 +166,9 @@ class Map(Skeleton):
             kernel.set_args(out_buffer, n, chunk.owned_start, *extras)
             global_size = round_up(n, self.work_group_size)
             self._enqueue(chunk.device_index, kernel, (global_size,), (self.work_group_size,),
-                          sample_fraction)
+                          sample_fraction,
+                          wait_for=out.chunk_events(position),
+                          output=out, output_position=position)
         out.mark_written_on_devices()
         return out
 
@@ -206,7 +210,9 @@ class Map(Skeleton):
 
         program = self._program(self.kernel_source(), f"skelcl_map_{self.user.name}")
         unit_elements = input_container._unit_elements
-        for (in_chunk, in_buffer), (out_chunk, out_buffer) in zip(chunks, out_chunks):
+        for position, ((in_chunk, in_buffer), (out_chunk, out_buffer)) in enumerate(
+            zip(chunks, out_chunks)
+        ):
             n = in_chunk.owned_size * unit_elements
             if n == 0:
                 continue
@@ -215,6 +221,9 @@ class Map(Skeleton):
             kernel.set_args(in_buffer, out_buffer, n, offset, *extras)
             global_size = round_up(n, self.work_group_size)
             self._enqueue(in_chunk.device_index, kernel, (global_size,), (self.work_group_size,),
-                          sample_fraction)
+                          sample_fraction,
+                          wait_for=input_container.chunk_events(position)
+                          + out.chunk_events(position),
+                          output=out, output_position=position)
         out.mark_written_on_devices()
         return out

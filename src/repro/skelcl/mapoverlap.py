@@ -325,7 +325,9 @@ class MapOverlap(Skeleton):
         out_chunks = out.prepare_as_output(Block() if distribution.kind == "overlap" else distribution)
         program = self._program(self.vector_source(), f"skelcl_mapoverlap_{self.user.name}")
         total = vector.size
-        for (in_chunk, in_buffer), (out_chunk, out_buffer) in zip(chunks, out_chunks):
+        for position, ((in_chunk, in_buffer), (out_chunk, out_buffer)) in enumerate(
+            zip(chunks, out_chunks)
+        ):
             n = in_chunk.owned_size
             if n == 0:
                 continue
@@ -333,7 +335,9 @@ class MapOverlap(Skeleton):
             kernel.set_args(in_buffer, out_buffer, n, in_chunk.owned_start, total,
                             in_chunk.halo_before, in_chunk.stored_size)
             global_size = round_up(n, _VEC_WG)
-            self._enqueue(in_chunk.device_index, kernel, (global_size,), (_VEC_WG,))
+            self._enqueue(in_chunk.device_index, kernel, (global_size,), (_VEC_WG,),
+                          wait_for=vector.chunk_events(position) + out.chunk_events(position),
+                          output=out, output_position=position)
         out.mark_written_on_devices()
         return out
 
@@ -347,7 +351,9 @@ class MapOverlap(Skeleton):
         program = self._program(self.matrix_source(), f"skelcl_mapoverlap_{self.user.name}")
         width = matrix.cols
         height = matrix.rows
-        for (in_chunk, in_buffer), (out_chunk, out_buffer) in zip(chunks, out_chunks):
+        for position, ((in_chunk, in_buffer), (out_chunk, out_buffer)) in enumerate(
+            zip(chunks, out_chunks)
+        ):
             rows = in_chunk.owned_size
             if rows == 0:
                 continue
@@ -355,6 +361,8 @@ class MapOverlap(Skeleton):
             kernel.set_args(in_buffer, out_buffer, width, height, in_chunk.owned_start,
                             rows, in_chunk.halo_before, in_chunk.stored_size)
             global_size = (round_up(width, _MAT_WG), round_up(rows, _MAT_WG))
-            self._enqueue(in_chunk.device_index, kernel, global_size, (_MAT_WG, _MAT_WG))
+            self._enqueue(in_chunk.device_index, kernel, global_size, (_MAT_WG, _MAT_WG),
+                          wait_for=matrix.chunk_events(position) + out.chunk_events(position),
+                          output=out, output_position=position)
         out.mark_written_on_devices()
         return out

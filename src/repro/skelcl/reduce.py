@@ -95,8 +95,9 @@ class Reduce(Skeleton):
         wg = self.work_group_size
 
         partials = []
+        partial_reads = []
         seen_copy = False
-        for chunk, buffer in chunks:
+        for position, (chunk, buffer) in enumerate(chunks):
             n = chunk.owned_size * unit_elements
             if n == 0:
                 continue
@@ -111,10 +112,14 @@ class Reduce(Skeleton):
             )
             kernel = program.create_kernel("skelcl_reduce")
             kernel.set_args(buffer, partial_buffer, n, chunk.halo_before * unit_elements)
-            self._enqueue(chunk.device_index, kernel, (groups * wg,), (wg,))
-            data, _event = queue.enqueue_read_buffer(partial_buffer, dtype, groups)
+            launch = self._enqueue(chunk.device_index, kernel, (groups * wg,), (wg,),
+                                   wait_for=input_container.chunk_events(position))
+            data, read_event = queue.enqueue_read_buffer(
+                partial_buffer, dtype, groups, event_wait_list=[launch]
+            )
             partial_buffer.release()
             partials.append(data)
+            partial_reads.append(read_event)
 
         if not partials:
             raise SkelCLError("Reduce over an empty container")
@@ -122,16 +127,21 @@ class Reduce(Skeleton):
         if len(gathered) == 1:
             return Scalar(gathered[0], dtype)
 
-        # Final stage: fold all partials in a single work-group on device 0.
+        # Final stage: fold all partials in a single work-group on
+        # device 0.  The gathered array depends on every partial
+        # download, so the stage-2 upload waits on them all — the only
+        # cross-device synchronization point of the reduction.
         device0 = runtime.devices[0]
         queue0 = runtime.queue(0)
         in_buffer = runtime.context.create_buffer(gathered.nbytes, device0, name="reduce_stage2_in")
         out_buffer = runtime.context.create_buffer(itembytes, device0, name="reduce_stage2_out")
-        queue0.enqueue_write_buffer(in_buffer, gathered)
+        write_event = queue0.enqueue_write_buffer(in_buffer, gathered,
+                                                  event_wait_list=partial_reads)
         kernel = program.create_kernel("skelcl_reduce")
         kernel.set_args(in_buffer, out_buffer, len(gathered), 0)
-        self._enqueue(0, kernel, (wg,), (wg,))
-        result, _event = queue0.enqueue_read_buffer(out_buffer, dtype, 1)
+        launch2 = self._enqueue(0, kernel, (wg,), (wg,), wait_for=[write_event])
+        result, _event = queue0.enqueue_read_buffer(out_buffer, dtype, 1,
+                                                    event_wait_list=[launch2])
         in_buffer.release()
         out_buffer.release()
         return Scalar(result[0], dtype)

@@ -36,6 +36,11 @@ class SkelCLRuntime:
     def elapsed_ns(self) -> int:
         return self.context.elapsed_ns()
 
+    def finish_all(self) -> int:
+        """Resolve the whole command graph on every queue and return the
+        critical-path elapsed time (see :meth:`ocl.Context.finish_all`)."""
+        return self.context.finish_all()
+
     def reset_timelines(self) -> None:
         self.context.reset_timelines()
 

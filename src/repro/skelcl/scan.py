@@ -122,23 +122,32 @@ class Scan(Skeleton):
         out_chunks = out.prepare_as_output(distribution)
         program = self._program(self.kernel_source(), f"skelcl_scan_{self.user.name}")
 
-        # Phase A: scan each device's chunk independently.
-        for (in_chunk, in_buffer), (out_chunk, out_buffer) in zip(chunks, out_chunks):
+        # Phase A: scan each device's chunk independently — the per-chunk
+        # dependency chains run concurrently across devices.
+        for position, ((in_chunk, in_buffer), (out_chunk, out_buffer)) in enumerate(
+            zip(chunks, out_chunks)
+        ):
             n = in_chunk.owned_size
             if n == 0:
                 continue
-            self._scan_on_device(program, in_chunk.device_index, in_buffer, out_buffer, n,
-                                 in_chunk.halo_before)
+            final = self._scan_on_device(
+                program, in_chunk.device_index, in_buffer, out_buffer, n,
+                in_chunk.halo_before,
+                wait_for=input_vector.chunk_events(position) + out.chunk_events(position),
+            )
+            out.record_chunk_event(position, final)
 
         if len([c for c, _b in chunks if c.owned_size > 0]) > 1:
-            self._apply_device_offsets(program, out_chunks, dtype)
+            self._apply_device_offsets(program, out, out_chunks, dtype)
         out.mark_written_on_devices()
         return out
 
     # -- single-device multi-block scan (recursive) -------------------------
 
     def _scan_on_device(self, program, device_index: int, in_buffer, out_buffer,
-                        n: int, offset: int) -> None:
+                        n: int, offset: int, wait_for=None) -> "ocl.Event":
+        """Scan one buffer on one device; returns the event producing the
+        final contents of ``out_buffer``."""
         runtime = get_runtime()
         dtype = self.result_dtype(self.element_type)
         groups = (n + _SCAN_WG - 1) // _SCAN_WG
@@ -147,54 +156,69 @@ class Scan(Skeleton):
         )
         kernel = program.create_kernel("skelcl_scan_block")
         kernel.set_args(in_buffer, out_buffer, sums_buffer, n, offset)
-        self._enqueue(device_index, kernel, (groups * _SCAN_WG,), (_SCAN_WG,))
+        block_scan = self._enqueue(device_index, kernel, (groups * _SCAN_WG,), (_SCAN_WG,),
+                                   wait_for=wait_for)
+        final = block_scan
         if groups > 1:
             scanned_sums = runtime.context.create_buffer(
                 groups * dtype.itemsize, runtime.devices[device_index], name="scan_sums_scanned"
             )
-            self._scan_on_device(program, device_index, sums_buffer, scanned_sums, groups, 0)
+            sums_scan = self._scan_on_device(program, device_index, sums_buffer, scanned_sums,
+                                             groups, 0, wait_for=[block_scan])
             add_kernel = program.create_kernel("skelcl_scan_add_blocks")
             add_kernel.set_args(out_buffer, scanned_sums, n)
-            self._enqueue(device_index, add_kernel, (groups * _SCAN_WG,), (_SCAN_WG,))
+            final = self._enqueue(device_index, add_kernel, (groups * _SCAN_WG,), (_SCAN_WG,),
+                                  wait_for=[block_scan, sums_scan])
             scanned_sums.release()
         sums_buffer.release()
+        return final
 
     # -- cross-device offsets --------------------------------------------------
 
-    def _apply_device_offsets(self, program, out_chunks, dtype) -> None:
+    def _apply_device_offsets(self, program, out, out_chunks, dtype) -> None:
         runtime = get_runtime()
         # Gather per-device totals (the last element of each scanned chunk).
         totals = []
         active = []
-        for chunk, buffer in out_chunks:
+        total_reads = []
+        for position, (chunk, buffer) in enumerate(out_chunks):
             if chunk.owned_size == 0:
                 continue
             queue = runtime.queue(chunk.device_index)
-            data, _event = queue.enqueue_read_buffer(
-                buffer, dtype, 1, (chunk.owned_size - 1) * dtype.itemsize
+            data, read_event = queue.enqueue_read_buffer(
+                buffer, dtype, 1, (chunk.owned_size - 1) * dtype.itemsize,
+                event_wait_list=out.chunk_events(position),
             )
             totals.append(data[0])
-            active.append((chunk, buffer))
+            active.append((position, chunk, buffer))
+            total_reads.append(read_event)
         if len(active) <= 1:
             return
-        # Scan the totals with the user operator in one tiny launch.
+        # Scan the totals with the user operator in one tiny launch on
+        # device 0; the upload waits on every per-device total download.
         device0 = runtime.devices[0]
         queue0 = runtime.queue(0)
         totals_array = np.asarray(totals, dtype=dtype)
         tot_in = runtime.context.create_buffer(totals_array.nbytes, device0, name="scan_dev_totals")
         tot_out = runtime.context.create_buffer(totals_array.nbytes, device0, name="scan_dev_offsets")
         sums_scratch = runtime.context.create_buffer(dtype.itemsize, device0, name="scan_dev_sums")
-        queue0.enqueue_write_buffer(tot_in, totals_array)
+        write_event = queue0.enqueue_write_buffer(tot_in, totals_array,
+                                                  event_wait_list=total_reads)
         kernel = program.create_kernel("skelcl_scan_block")
         kernel.set_args(tot_in, tot_out, sums_scratch, len(totals), 0)
-        self._enqueue(0, kernel, (_SCAN_WG,), (_SCAN_WG,))
-        scanned, _event = queue0.enqueue_read_buffer(tot_out, dtype, len(totals))
+        launch = self._enqueue(0, kernel, (_SCAN_WG,), (_SCAN_WG,), wait_for=[write_event])
+        scanned, scanned_read = queue0.enqueue_read_buffer(tot_out, dtype, len(totals),
+                                                           event_wait_list=[launch])
         for buffer in (tot_in, tot_out, sums_scratch):
             buffer.release()
-        # Fold the preceding devices' total into each later chunk.
-        for position, (chunk, buffer) in enumerate(active[1:], start=1):
-            offset_value = scanned[position - 1]
+        # Fold the preceding devices' total into each later chunk; the
+        # folds on distinct devices proceed concurrently once the scanned
+        # offsets are on the host.
+        for index, (position, chunk, buffer) in enumerate(active[1:], start=1):
+            offset_value = scanned[index - 1]
             add_kernel = program.create_kernel("skelcl_scan_add_offset")
             add_kernel.set_args(buffer, offset_value, chunk.owned_size)
             groups = (chunk.owned_size + _SCAN_WG - 1) // _SCAN_WG
-            self._enqueue(chunk.device_index, add_kernel, (groups * _SCAN_WG,), (_SCAN_WG,))
+            self._enqueue(chunk.device_index, add_kernel, (groups * _SCAN_WG,), (_SCAN_WG,),
+                          wait_for=[scanned_read] + out.chunk_events(position),
+                          output=out, output_position=position)

@@ -80,13 +80,18 @@ class Skeleton:
 
     @property
     def last_kernel_time_ns(self) -> int:
-        """Simulated kernel time of the most recent call: devices execute
-        concurrently, so this is the maximum over the per-device sums."""
-        by_device: Dict[int, int] = {}
-        for event in self.last_events:
-            device = event.info.get("device_index", 0)
-            by_device[device] = by_device.get(device, 0) + event.duration_ns
-        return max(by_device.values()) if by_device else 0
+        """Simulated kernel time of the most recent call: the critical-path
+        window over the call's kernel events — latest completion minus
+        earliest start, as scheduled on the command graph.  Kernels that
+        overlap (different devices, or hidden behind transfers) are
+        counted once, matching what ``clGetEventProfilingInfo`` timelines
+        would report."""
+        kernels = [e for e in self.last_events if e.command_type == "ndrange_kernel"]
+        if not kernels:
+            return 0
+        for event in kernels:
+            event.wait()
+        return max(e.end_ns for e in kernels) - min(e.start_ns for e in kernels)
 
     def _enqueue(
         self,
@@ -95,11 +100,27 @@ class Skeleton:
         global_size,
         local_size,
         sample_fraction: Optional[float] = None,
+        wait_for: Optional[Sequence[ocl.Event]] = None,
+        output=None,
+        output_position: Optional[int] = None,
     ) -> ocl.Event:
+        """Launch ``kernel`` with an explicit wait list.
+
+        ``wait_for`` lists the events producing the buffers this launch
+        reads or overwrites (RAW/WAW edges).  When ``output`` (a
+        container) and ``output_position`` are given, the launch event is
+        recorded as the new gate for that output chunk, so downstream
+        consumers — downloads, redistributions, later skeletons — wait
+        on it."""
         runtime = get_runtime()
         queue = runtime.queue(device_index)
-        event = queue.enqueue_nd_range_kernel(kernel, global_size, local_size, sample_fraction)
+        event = queue.enqueue_nd_range_kernel(
+            kernel, global_size, local_size, sample_fraction,
+            event_wait_list=wait_for,
+        )
         event.info["device_index"] = device_index
+        if output is not None and output_position is not None:
+            output.record_chunk_event(output_position, event)
         return self._record(event)
 
     # -- distribution policy -------------------------------------------------------

@@ -91,8 +91,8 @@ class Zip(Skeleton):
 
         program = self._program(self.kernel_source(), f"skelcl_zip_{self.user.name}")
         unit_elements = left._unit_elements
-        for (l_chunk, l_buffer), (r_chunk, r_buffer), (o_chunk, o_buffer) in zip(
-            left_chunks, right_chunks, out_chunks
+        for position, ((l_chunk, l_buffer), (r_chunk, r_buffer), (o_chunk, o_buffer)) in enumerate(
+            zip(left_chunks, right_chunks, out_chunks)
         ):
             n = l_chunk.owned_size * unit_elements
             if n == 0:
@@ -108,6 +108,10 @@ class Zip(Skeleton):
                 *extras,
             )
             global_size = round_up(n, self.work_group_size)
-            self._enqueue(l_chunk.device_index, kernel, (global_size,), (self.work_group_size,))
+            self._enqueue(l_chunk.device_index, kernel, (global_size,), (self.work_group_size,),
+                          wait_for=left.chunk_events(position)
+                          + right.chunk_events(position)
+                          + out.chunk_events(position),
+                          output=out, output_position=position)
         out.mark_written_on_devices()
         return out

@@ -1,0 +1,305 @@
+"""The asynchronous command graph: event wait lists, the event
+lifecycle, engine overlap, markers/barriers, and critical-path elapsed
+time (``Context.finish_all``)."""
+
+import numpy as np
+import pytest
+
+from repro import ocl
+from repro.ocl.event import COMPUTE_ENGINE, SYNC_ENGINE, TRANSFER_ENGINE
+
+SCALE = """
+__kernel void scale(__global const float* a, __global float* out, int n) {
+    int gid = get_global_id(0);
+    if (gid < n) out[gid] = 2.0f * a[gid];
+}
+"""
+
+N = 4096
+
+
+@pytest.fixture
+def ctx():
+    context = ocl.Context.create(ocl.TEST_DEVICE, 2)
+    yield context
+    context.release()
+
+
+def make_kernel(ctx):
+    program = ctx.create_program(SCALE).build()
+    return program.create_kernel("scale")
+
+
+def launch(ctx, queue, wait_for=None):
+    """Upload data and launch one scale kernel on ``queue``; returns the
+    (write, kernel) events."""
+    data = np.arange(N, dtype=np.float32)
+    a = ctx.create_buffer(data.nbytes, queue.device)
+    out = ctx.create_buffer(data.nbytes, queue.device)
+    write = queue.enqueue_write_buffer(a, data)
+    kernel = make_kernel(ctx)
+    kernel.set_args(a, out, N)
+    event = queue.enqueue_nd_range_kernel(
+        kernel, (N,), (256,), event_wait_list=wait_for if wait_for is not None else [write]
+    )
+    return write, event
+
+
+class TestLifecycle:
+    def test_enqueued_command_is_queued_until_resolved(self, ctx):
+        queue = ctx.queues[0]
+        buffer = ctx.create_buffer(64)
+        event = queue.enqueue_write_buffer(buffer, np.zeros(16, np.float32))
+        assert event.status is ocl.EventStatus.QUEUED
+        assert not event.is_complete
+        event.wait()
+        assert event.status is ocl.EventStatus.COMPLETE
+
+    def test_wait_returns_end_timestamp(self, ctx):
+        queue = ctx.queues[0]
+        buffer = ctx.create_buffer(64)
+        event = queue.enqueue_write_buffer(buffer, np.zeros(16, np.float32))
+        assert event.wait() == event.end_ns
+        assert event.end_ns > 0
+
+    def test_duration_known_before_resolution(self, ctx):
+        # The analytic timing model fixes the duration at enqueue time;
+        # only the placement on the timeline is deferred.
+        queue = ctx.queues[0]
+        buffer = ctx.create_buffer(64)
+        event = queue.enqueue_write_buffer(buffer, np.zeros(16, np.float32))
+        planned = event.duration_ns
+        assert planned > 0
+        event.wait()
+        assert event.duration_ns == planned
+
+    def test_status_at_walks_the_lifecycle(self, ctx):
+        queue = ctx.queues[0]
+        write, kernel = launch(ctx, queue)
+        kernel.wait()
+        # The kernel waits on the upload: before the upload completes it
+        # is at best submitted, afterwards running, then complete.
+        assert kernel.status_at(kernel.submit_ns - 1) is ocl.EventStatus.QUEUED
+        assert kernel.status_at(kernel.start_ns) is ocl.EventStatus.RUNNING
+        assert kernel.status_at(kernel.end_ns) is ocl.EventStatus.COMPLETE
+
+    def test_wait_for_events_resolves_all(self, ctx):
+        queue = ctx.queues[0]
+        events = [
+            queue.enqueue_write_buffer(ctx.create_buffer(64), np.zeros(16, np.float32))
+            for _ in range(3)
+        ]
+        latest = ocl.wait_for_events(events)
+        assert all(e.is_complete for e in events)
+        assert latest == max(e.end_ns for e in events)
+
+
+class TestDependencies:
+    def test_dependent_kernel_starts_exactly_at_dependency_end(self, ctx):
+        # The acceptance criterion: a kernel whose wait list completes
+        # *after* its engine is free starts exactly at the last
+        # dependency's end_ns.
+        queue = ctx.queues[0]
+        write, kernel = launch(ctx, queue)
+        kernel.wait()
+        assert write.is_complete
+        assert kernel.start_ns == write.end_ns
+
+    def test_implicit_in_order_serialization(self, ctx):
+        # event_wait_list=None preserves the classic in-order queue:
+        # every command waits for the previously enqueued one, even
+        # across engines.
+        queue = ctx.queues[0]
+        data = np.arange(N, dtype=np.float32)
+        a = ctx.create_buffer(data.nbytes)
+        out = ctx.create_buffer(data.nbytes)
+        write = queue.enqueue_write_buffer(a, data)
+        kernel = make_kernel(ctx)
+        kernel.set_args(a, out, N)
+        launch_event = queue.enqueue_nd_range_kernel(kernel, (N,), (256,))
+        _, read = queue.enqueue_read_buffer(out, np.float32, N)
+        queue.finish()
+        assert launch_event.start_ns == write.end_ns
+        assert read.start_ns >= launch_event.end_ns
+
+    def test_command_never_starts_before_wait_list(self, ctx):
+        queue = ctx.queues[0]
+        events = []
+        for _ in range(4):
+            events.append(launch(ctx, queue)[1])
+        queue.finish()
+        for event in events:
+            for dep in event.wait_for:
+                assert event.start_ns >= dep.end_ns
+
+    def test_explicit_empty_wait_list_allows_overlap(self, ctx):
+        # Two uploads to *different* devices with explicit empty wait
+        # lists are independent: both start at time 0.
+        data = np.zeros(1 << 16, np.float32)
+        e0 = ctx.queues[0].enqueue_write_buffer(
+            ctx.create_buffer(data.nbytes, ctx.devices[0]), data, event_wait_list=[]
+        )
+        e1 = ctx.queues[1].enqueue_write_buffer(
+            ctx.create_buffer(data.nbytes, ctx.devices[1]), data, event_wait_list=[]
+        )
+        ctx.finish_all()
+        assert e0.start_ns == 0
+        assert e1.start_ns == 0
+
+    def test_cross_queue_dependency_edge(self, ctx):
+        # A write on device 1 waiting on a read from device 0 — the halo
+        # exchange pattern.  Resolving the consumer must transitively
+        # resolve the producer on the other queue.
+        data = np.arange(256, dtype=np.float32)
+        src = ctx.create_buffer(data.nbytes, ctx.devices[0])
+        dst = ctx.create_buffer(data.nbytes, ctx.devices[1])
+        up = ctx.queues[0].enqueue_write_buffer(src, data)
+        staged, down = ctx.queues[0].enqueue_read_buffer(
+            src, np.float32, 256, event_wait_list=[up]
+        )
+        over = ctx.queues[1].enqueue_write_buffer(dst, staged, event_wait_list=[down])
+        assert over.wait() >= down.end_ns
+        assert down.is_complete  # resolved transitively, on the other queue
+        assert over.start_ns >= down.end_ns
+        assert down.start_ns >= up.end_ns
+
+
+class TestEngines:
+    def test_timestamps_monotone_per_engine(self, ctx):
+        queue = ctx.queues[0]
+        for _ in range(5):
+            launch(ctx, queue)
+        queue.finish()
+        for engine in (COMPUTE_ENGINE, TRANSFER_ENGINE):
+            events = queue.engine_events(engine)
+            assert events, f"no events on the {engine} engine"
+            for earlier, later in zip(events, events[1:]):
+                # An engine runs one command at a time, in enqueue order.
+                assert later.start_ns >= earlier.end_ns
+                assert earlier.end_ns >= earlier.start_ns
+
+    def test_transfer_overlaps_compute(self, ctx):
+        # Kernel 1's input is uploaded, then while kernel 1 runs on the
+        # compute engine the transfer engine uploads kernel 2's input:
+        # upload B must start before kernel 1 ends.
+        queue = ctx.queues[0]
+        data = np.arange(N, dtype=np.float32)
+        a, out_a = ctx.create_buffer(data.nbytes), ctx.create_buffer(data.nbytes)
+        b, out_b = ctx.create_buffer(data.nbytes), ctx.create_buffer(data.nbytes)
+        up_a = queue.enqueue_write_buffer(a, data, event_wait_list=[])
+        k1 = make_kernel(ctx)
+        k1.set_args(a, out_a, N)
+        run_a = queue.enqueue_nd_range_kernel(k1, (N,), (256,), event_wait_list=[up_a])
+        up_b = queue.enqueue_write_buffer(b, data, event_wait_list=[])  # independent
+        k2 = make_kernel(ctx)
+        k2.set_args(b, out_b, N)
+        run_b = queue.enqueue_nd_range_kernel(k2, (N,), (256,), event_wait_list=[up_b])
+        elapsed = queue.finish()
+        assert up_b.start_ns < run_a.end_ns  # the overlap
+        assert run_b.start_ns >= up_b.end_ns
+        serialized = sum(e.duration_ns for e in (up_a, run_a, up_b, run_b))
+        assert elapsed < serialized
+
+    def test_serialized_queue_matches_sum_of_durations(self, ctx):
+        # With implicit dependencies only, the old serialized-clock model
+        # is reproduced exactly: the queue clock is the sum of durations.
+        queue = ctx.queues[0]
+        data = np.arange(N, dtype=np.float32)
+        buffers = [ctx.create_buffer(data.nbytes) for _ in range(4)]
+        events = [queue.enqueue_write_buffer(buffer, data) for buffer in buffers]
+        assert queue.finish() == sum(e.duration_ns for e in events)
+
+
+class TestMarkersAndBarriers:
+    def test_marker_completes_with_all_prior_work(self, ctx):
+        queue = ctx.queues[0]
+        write, kernel = launch(ctx, queue)
+        marker = queue.enqueue_marker()
+        assert marker.wait() == max(write.end_ns, kernel.end_ns)
+        assert marker.engine is SYNC_ENGINE
+        assert marker.duration_ns == 0
+
+    def test_marker_with_explicit_wait_list(self, ctx):
+        queue = ctx.queues[0]
+        write, kernel = launch(ctx, queue)
+        marker = queue.enqueue_marker(event_wait_list=[write])
+        assert marker.wait() == write.end_ns
+
+    def test_barrier_gates_later_commands(self, ctx):
+        queue = ctx.queues[0]
+        _, kernel = launch(ctx, queue)
+        barrier = queue.enqueue_barrier()
+        # An upload with an *explicit empty* wait list would normally be
+        # free to run at time 0; the barrier still gates it.
+        late = queue.enqueue_write_buffer(
+            ctx.create_buffer(64), np.zeros(16, np.float32), event_wait_list=[]
+        )
+        queue.finish()
+        assert barrier.end_ns >= kernel.end_ns
+        assert late.start_ns >= barrier.end_ns
+
+
+class TestFinishAll:
+    def test_finish_all_is_critical_path_of_hand_built_graph(self, ctx):
+        # A two-device diamond: upload on each device, a kernel on each,
+        # then device 1's kernel also waits on device 0's kernel (via a
+        # staged read).  finish_all() must equal the end of the longest
+        # chain — computed here by hand from the event timestamps.
+        q0, q1 = ctx.queues
+        data = np.arange(N, dtype=np.float32)
+        a0 = ctx.create_buffer(data.nbytes, ctx.devices[0])
+        o0 = ctx.create_buffer(data.nbytes, ctx.devices[0])
+        a1 = ctx.create_buffer(data.nbytes, ctx.devices[1])
+        o1 = ctx.create_buffer(data.nbytes, ctx.devices[1])
+        up0 = q0.enqueue_write_buffer(a0, data, event_wait_list=[])
+        up1 = q1.enqueue_write_buffer(a1, data, event_wait_list=[])
+        k0 = make_kernel(ctx)
+        k0.set_args(a0, o0, N)
+        run0 = q0.enqueue_nd_range_kernel(k0, (N,), (256,), event_wait_list=[up0])
+        staged, read0 = q0.enqueue_read_buffer(o0, np.float32, N, event_wait_list=[run0])
+        feed1 = q1.enqueue_write_buffer(a1, staged, event_wait_list=[read0, up1])
+        k1 = make_kernel(ctx)
+        k1.set_args(a1, o1, N)
+        run1 = q1.enqueue_nd_range_kernel(k1, (N,), (256,), event_wait_list=[feed1])
+        elapsed = ctx.finish_all()
+        all_events = [up0, up1, run0, read0, feed1, run1]
+        assert all(e.is_complete for e in all_events)
+        assert elapsed == max(e.end_ns for e in all_events)
+        assert elapsed == run1.end_ns  # the cross-device chain is longest
+        # ... and the chain's links are tight: each step starts at its
+        # gating dependency's completion.
+        assert run0.start_ns == up0.end_ns
+        assert read0.start_ns == run0.end_ns
+        assert feed1.start_ns == max(read0.end_ns, up1.end_ns)
+        assert run1.start_ns == feed1.end_ns
+        # Strictly shorter than serializing everything on one clock.
+        assert elapsed < sum(e.duration_ns for e in all_events)
+
+    def test_finish_all_idempotent(self, ctx):
+        launch(ctx, ctx.queues[0])
+        launch(ctx, ctx.queues[1])
+        first = ctx.finish_all()
+        assert ctx.finish_all() == first
+
+    def test_reset_timelines_clears_scheduler_state(self, ctx):
+        queue = ctx.queues[0]
+        launch(ctx, queue)
+        assert queue.finish() > 0
+        ctx.reset_timelines()
+        assert queue.finish() == 0
+        assert queue.events == []
+        # A fresh command starts the timeline from zero again.
+        event = queue.enqueue_write_buffer(ctx.create_buffer(64), np.zeros(16, np.float32))
+        assert event.wait() == event.duration_ns
+
+
+class TestCounters:
+    def test_copy_buffer_counts_into_transfer_totals(self, ctx):
+        queue = ctx.queues[0]
+        src = ctx.create_buffer(256)
+        dst = ctx.create_buffer(256)
+        ns_before = queue.total_transfer_ns
+        bytes_before = queue.total_transfer_bytes
+        event = queue.enqueue_copy_buffer(src, dst, 256)
+        assert queue.total_transfer_bytes == bytes_before + 256
+        assert queue.total_transfer_ns == ns_before + event.duration_ns

@@ -9,7 +9,7 @@ from repro.skelcl import Block, Copy, MapOverlap, Matrix, Overlap, SCL_NEUTRAL, 
 
 
 def pcie_bytes(runtime) -> int:
-    return sum(q.total_transfer_bytes for q in runtime.queues)
+    return sum(q.total_pcie_bytes for q in runtime.queues)
 
 
 def copy_buffer_bytes(runtime) -> int:
@@ -142,12 +142,19 @@ class TestCopyBufferCommand:
             ctx.queues[0].enqueue_copy_buffer(a, b, 16)
         ctx.release()
 
-    def test_copy_does_not_touch_pcie_counters(self):
+    def test_copy_counts_as_transfer_but_not_pcie(self):
         ctx = ocl.Context.create(ocl.TEST_DEVICE)
         queue = ctx.queues[0]
         src = ctx.create_buffer(64)
         dst = ctx.create_buffer(64)
-        before = queue.total_transfer_bytes
+        pcie_before = queue.total_pcie_bytes
+        transfer_before = queue.total_transfer_bytes
+        transfer_ns_before = queue.total_transfer_ns
         queue.enqueue_copy_buffer(src, dst, 64)
-        assert queue.total_transfer_bytes == before
+        # Device-local: redistribution traffic shows up in the queue's
+        # transfer statistics like every other transfer command...
+        assert queue.total_transfer_bytes == transfer_before + 64
+        assert queue.total_transfer_ns > transfer_ns_before
+        # ...but never on the host link.
+        assert queue.total_pcie_bytes == pcie_before
         ctx.release()
