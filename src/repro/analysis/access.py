@@ -1,0 +1,276 @@
+"""Buffer access sets: which byte ranges a command reads and writes.
+
+Transfers declare their ranges directly (offset + length).  Kernel
+launches derive theirs from a static analysis of the kernel AST: for
+every ``__global``/``__constant`` pointer parameter the analysis decides
+whether the kernel may *read* and/or *write* through it
+(:func:`pointer_param_modes`).  ``const``-qualified pointers are
+read-only by declaration; for the rest the analysis walks every store
+target and propagates through user-function calls.  Anything it cannot
+prove (pointer aliasing into locals, recursion) falls back to
+read+write — the analysis over-approximates, so the race detector never
+misses a conflict because of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..kernelc import ast
+from ..kernelc.ctypes_ import PointerType
+
+READ = "r"
+WRITE = "w"
+READ_WRITE = "rw"
+
+
+@dataclass(frozen=True)
+class BufferAccess:
+    """One command's access to a byte range of one buffer."""
+
+    buffer_uid: int
+    buffer_name: str
+    start: int
+    stop: int  # half-open [start, stop)
+    mode: str  # READ, WRITE or READ_WRITE
+
+    @staticmethod
+    def read(buffer, offset: int, nbytes: int) -> "BufferAccess":
+        return BufferAccess(buffer.uid, buffer.name or "buffer",
+                            int(offset), int(offset) + int(nbytes), READ)
+
+    @staticmethod
+    def write(buffer, offset: int, nbytes: int) -> "BufferAccess":
+        return BufferAccess(buffer.uid, buffer.name or "buffer",
+                            int(offset), int(offset) + int(nbytes), WRITE)
+
+    @property
+    def reads(self) -> bool:
+        return READ in self.mode
+
+    @property
+    def writes(self) -> bool:
+        return WRITE in self.mode
+
+    def conflicts_with(self, other: "BufferAccess") -> bool:
+        """True when the two accesses touch the same buffer, their byte
+        ranges overlap, and at least one of them writes."""
+        if self.buffer_uid != other.buffer_uid:
+            return False
+        if not (self.writes or other.writes):
+            return False
+        return self.start < other.stop and other.start < self.stop
+
+    def describe(self) -> str:
+        verb = {READ: "reads", WRITE: "writes", READ_WRITE: "reads+writes"}[self.mode]
+        return f"{verb} {self.buffer_name}#{self.buffer_uid}[{self.start}:{self.stop}]"
+
+
+# -- kernel pointer-parameter access modes ----------------------------------
+
+
+def _is_pointer_expr(expr: ast.Expr) -> bool:
+    ctype = getattr(expr, "ctype", None)
+    return isinstance(ctype, PointerType)
+
+
+def _root_names(expr: ast.Expr) -> Set[str]:
+    """Identifier names a store through ``expr`` as an lvalue may hit.
+
+    Peels ``Index``/``Member``/``Cast``/unary-deref wrappers; for
+    pointer arithmetic (``*(p + i)``) it keeps the side that is a
+    pointer when types are known and both sides otherwise."""
+    if isinstance(expr, ast.Identifier):
+        return {expr.name}
+    if isinstance(expr, ast.Index):
+        return _root_names(expr.base)
+    if isinstance(expr, ast.Member):
+        return _root_names(expr.base)
+    if isinstance(expr, ast.Cast):
+        return _root_names(expr.operand)
+    if isinstance(expr, ast.UnaryOp) and expr.op in ("*", "+", "-"):
+        return _root_names(expr.operand)
+    if isinstance(expr, ast.BinaryOp):
+        left, right = expr.left, expr.right
+        if _is_pointer_expr(left) and not _is_pointer_expr(right):
+            return _root_names(left)
+        if _is_pointer_expr(right) and not _is_pointer_expr(left):
+            return _root_names(right)
+        return _root_names(left) | _root_names(right)
+    if isinstance(expr, ast.Conditional):
+        return _root_names(expr.then_expr) | _root_names(expr.else_expr)
+    return set()
+
+
+def _identifiers(expr: Optional[ast.Expr]) -> Set[str]:
+    if expr is None:
+        return set()
+    return {n.name for n in ast.walk(expr) if isinstance(n, ast.Identifier)}
+
+
+class _ModeAnalysis:
+    """Interprocedural read/write analysis over pointer parameters."""
+
+    def __init__(self, program: ast.Program):
+        self.functions: Dict[str, ast.FunctionDef] = {
+            fn.name: fn for fn in program.functions
+        }
+        self._cache: Dict[str, Dict[str, Set[str]]] = {}
+        self._in_progress: Set[str] = set()
+
+    def modes(self, fn: ast.FunctionDef) -> Dict[str, Set[str]]:
+        """``param name -> subset of {'r', 'w'}`` for pointer params."""
+        cached = self._cache.get(fn.name)
+        if cached is not None:
+            return cached
+        pointer_params = {
+            p.name: p.declared_type
+            for p in fn.params
+            if isinstance(p.declared_type, PointerType)
+        }
+        result: Dict[str, Set[str]] = {name: set() for name in pointer_params}
+        if fn.name in self._in_progress:
+            # Recursion: give up on precision for this cycle.
+            return {name: {"r", "w"} for name in pointer_params}
+        self._in_progress.add(fn.name)
+        try:
+            if fn.body is not None:
+                self._scan_stmt(fn.body, result)
+            for name, ctype in pointer_params.items():
+                if ctype.is_const:
+                    result[name] = {"r"} if result[name] else {"r"}
+        finally:
+            self._in_progress.discard(fn.name)
+        self._cache[fn.name] = result
+        return result
+
+    # -- walking ---------------------------------------------------------
+
+    def _mark(self, result: Dict[str, Set[str]], names: Set[str], flag: str) -> None:
+        for name in names:
+            if name in result:
+                result[name].add(flag)
+
+    def _scan_stmt(self, stmt: ast.Stmt, result: Dict[str, Set[str]]) -> None:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Expr):
+                self._scan_expr_node(node, result)
+            elif isinstance(node, ast.VarDecl) and node.init is not None:
+                # A pointer parameter flowing into a local pointer
+                # variable aliases it: assume the worst through the copy.
+                if isinstance(node.declared_type, PointerType):
+                    self._mark(result, _identifiers(node.init), "r")
+                    self._mark(result, _identifiers(node.init), "w")
+
+    def _scan_expr_node(self, node: ast.Expr, result: Dict[str, Set[str]]) -> None:
+        if isinstance(node, ast.Assignment):
+            roots = _root_names(node.target)
+            if not isinstance(node.target, ast.Identifier):
+                # Store through a deref/index: the pointee is written;
+                # compound assignments (+= etc.) also read it.
+                self._mark(result, roots, "w")
+                if node.op != "=":
+                    self._mark(result, roots, "r")
+            elif _is_pointer_expr(node.value) or _identifiers(node.value) & set(result):
+                # Re-seating a pointer variable from a parameter: alias.
+                self._mark(result, _identifiers(node.value) & set(result), "r")
+                self._mark(result, _identifiers(node.value) & set(result), "w")
+        elif isinstance(node, (ast.UnaryOp, ast.PostfixOp)) and node.op in ("++", "--"):
+            if not isinstance(node.operand, ast.Identifier):
+                roots = _root_names(node.operand)
+                self._mark(result, roots, "r")
+                self._mark(result, roots, "w")
+        elif isinstance(node, ast.Index):
+            # Reads through an index are marked here; stores were already
+            # handled above, and the spurious extra "r" they pick up is a
+            # harmless over-approximation only when the same pointer is
+            # genuinely read elsewhere.
+            if not self._is_store_target(node):
+                self._mark(result, _root_names(node.base), "r")
+        elif isinstance(node, ast.UnaryOp) and node.op == "*":
+            if not self._is_store_target(node):
+                self._mark(result, _root_names(node.operand), "r")
+        elif isinstance(node, ast.Call):
+            self._scan_call(node, result)
+
+    def _is_store_target(self, node: ast.Expr) -> bool:
+        # Pre-order walk visits the Assignment before its target, so the
+        # flag is set by the time the Index/deref node is reached.
+        return getattr(node, "_skelsan_store_target", False)
+
+    def _scan_call(self, node: ast.Call, result: Dict[str, Set[str]]) -> None:
+        callee = self.functions.get(node.callee)
+        if callee is not None:
+            callee_modes = self.modes(callee)
+            for arg, param in zip(node.args, callee.params):
+                names = _identifiers(arg) & set(result)
+                if not names:
+                    continue
+                flags = callee_modes.get(param.name)
+                if flags is None:
+                    # Pointer passed as a non-pointer argument: ignore.
+                    if isinstance(param.declared_type, PointerType):
+                        self._mark(result, names, "r")
+                        self._mark(result, names, "w")
+                    continue
+                for flag in flags or {"r"}:
+                    self._mark(result, names, flag)
+        else:
+            # Builtin or unknown callee: passing a pointer to an unknown
+            # function could do anything — stay conservative.
+            for arg in node.args:
+                if _is_pointer_expr(arg) or _identifiers(arg) & set(result):
+                    names = _identifiers(arg) & set(result)
+                    self._mark(result, names, "r")
+                    self._mark(result, names, "w")
+
+
+def _tag_store_targets(body: ast.Stmt) -> None:
+    """Mark the outermost Index/deref node of every plain-assignment
+    target so the read scan can skip it."""
+    for node in ast.walk(body):
+        if isinstance(node, ast.Assignment) and node.op == "=":
+            target = node.target
+            if isinstance(target, (ast.Index, ast.UnaryOp)):
+                target._skelsan_store_target = True
+
+
+def pointer_param_modes(program: ast.Program, fn: ast.FunctionDef) -> Dict[str, str]:
+    """Access mode (``'r'``, ``'w'`` or ``'rw'``) per pointer parameter
+    of ``fn``, derived from the (checked) AST.  Parameters the analysis
+    never sees used default to ``'r'`` (a harmless under-claim: an
+    unused pointer touches nothing)."""
+    if fn.body is not None:
+        _tag_store_targets(fn.body)
+    modes = _ModeAnalysis(program).modes(fn)
+    result: Dict[str, str] = {}
+    for name, flags in modes.items():
+        if "w" in flags and "r" in flags:
+            result[name] = READ_WRITE
+        elif "w" in flags:
+            result[name] = WRITE
+        else:
+            result[name] = READ
+    return result
+
+
+def kernel_buffer_accesses(kernel) -> List[BufferAccess]:
+    """The buffer access set of a bound :class:`repro.ocl.Kernel`: one
+    record per Buffer argument, spanning the whole buffer, with the mode
+    from :func:`pointer_param_modes` (cached per compiled kernel)."""
+    compiled = kernel.compiled
+    modes = getattr(compiled, "_skelsan_param_modes", None)
+    if modes is None:
+        program_ast = kernel.program.compiled.program
+        modes = pointer_param_modes(program_ast, compiled.definition)
+        compiled._skelsan_param_modes = modes
+    accesses: List[BufferAccess] = []
+    for param, value in zip(compiled.definition.params, kernel._args):
+        uid = getattr(value, "uid", None)
+        if uid is None:  # not a Buffer (scalar/vector argument)
+            continue
+        mode = modes.get(param.name, READ_WRITE)
+        accesses.append(BufferAccess(uid, value.name or param.name,
+                                     0, value.nbytes, mode))
+    return accesses

@@ -6,19 +6,27 @@ Usage::
     python -m repro.kernelc FILE.cl --ast      # print the parsed AST
     python -m repro.kernelc FILE.cl --print    # pretty-print the source
     python -m repro.kernelc FILE.cl --python   # show the compiled Python
+    python -m repro.kernelc FILE.cl --lint     # run the lint pass
+    python -m repro.kernelc FILE.py --lint     # lint kernel strings in a
+                                               # Python module
     echo '...' | python -m repro.kernelc -     # read from stdin
 
-Exit status 0 on success, 1 on compile errors (diagnostics on stderr).
+Exit status 0 on success, 1 on compile or lint errors (diagnostics on
+stderr).  ``--lint`` on a ``.py`` file extracts every string literal
+containing ``__kernel`` (the convention used by ``examples/`` and
+``repro.baselines``) and lints each as a standalone kernel source.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import textwrap
 
 from .compiler import compile_program
-from .diagnostics import CompileError
+from .diagnostics import CompileError, Severity
 from .frontend import compile_source
+from .lint import lint_program
 from .preprocessor import PreprocessorError
 
 
@@ -43,6 +51,50 @@ def _dump_ast(node, indent: int = 0, out=None) -> None:
         _dump_ast(child, indent + 1, out)
 
 
+def _extract_kernel_strings(path: str):
+    """``(line, source)`` for every plain string literal in a Python file
+    that looks like a kernel source (contains ``__kernel`` and a body).
+    F-string fragments are skipped — they are templates, not sources."""
+    import ast as pyast
+
+    with open(path) as handle:
+        tree = pyast.parse(handle.read(), path)
+    in_fstring = set()
+    for node in pyast.walk(tree):
+        if isinstance(node, pyast.JoinedStr):
+            for part in pyast.walk(node):
+                in_fstring.add(id(part))
+    found = []
+    for node in pyast.walk(tree):
+        if (isinstance(node, pyast.Constant) and isinstance(node.value, str)
+                and id(node) not in in_fstring
+                and "__kernel" in node.value and "{" in node.value):
+            found.append((node.lineno, textwrap.dedent(node.value)))
+    return found
+
+
+def _lint_python_module(path: str) -> int:
+    """Lint every kernel string of a Python module; 0 when error-free."""
+    failed = 0
+    strings = _extract_kernel_strings(path)
+    for lineno, text in strings:
+        name = f"{path}:{lineno}"
+        try:
+            program = compile_source(text, name)
+        except (CompileError, PreprocessorError) as exc:
+            sys.stderr.write(f"{name}: kernel string does not compile:\n{exc}\n")
+            failed += 1
+            continue
+        diagnostics = lint_program(program)
+        for diag in diagnostics:
+            sys.stderr.write(diag.render(program.source) + "\n")
+        if any(d.severity is Severity.ERROR for d in diagnostics):
+            failed += 1
+    status = "clean" if not failed else f"{failed} with errors"
+    print(f"{path}: {len(strings)} kernel string(s), {status}")
+    return 0 if not failed else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.kernelc",
                                      description="Compile an OpenCL-C kernel source.")
@@ -52,9 +104,15 @@ def main(argv=None) -> int:
                         help="pretty-print the parsed source")
     parser.add_argument("--python", action="store_true",
                         help="show the compiled Python code")
+    parser.add_argument("--lint", action="store_true",
+                        help="run the lint pass (exit 1 on lint errors); on a "
+                             ".py file, lint every embedded kernel string")
     parser.add_argument("-D", dest="defines", action="append", default=[],
                         metavar="NAME[=VALUE]", help="preprocessor define")
     args = parser.parse_args(argv)
+
+    if args.lint and args.file.endswith(".py"):
+        return _lint_python_module(args.file)
 
     if args.file == "-":
         source = sys.stdin.read()
@@ -74,6 +132,14 @@ def main(argv=None) -> int:
     except (CompileError, PreprocessorError) as exc:
         sys.stderr.write(f"{exc}\n")
         return 1
+
+    if args.lint:
+        diagnostics = lint_program(program)
+        for diag in diagnostics:
+            sys.stderr.write(diag.render(program.source) + "\n")
+        errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+        print(f"{name}: lint {'clean' if not diagnostics else f'{len(diagnostics)} finding(s), {errors} error(s)'}")
+        return 1 if errors else 0
 
     if args.ast:
         _dump_ast(program)

@@ -142,9 +142,17 @@ class _Analyzer:
         if expr is None:
             return
         for node in ast.walk(expr):
-            if isinstance(node, ast.Call) and node.callee == self.accessor_name:
-                offsets = tuple(self.eval(arg, env) for arg in node.args[1:])
-                self.accesses.append(offsets)
+            self.visit_expr(node, env)
+
+    def visit_expr(self, node: ast.Expr, env: _Env) -> None:
+        """Hook called once per expression node with the interval
+        environment of its program point.  The base analyzer collects
+        accessor-call offsets; subclasses (the lint pass's out-of-bounds
+        rule) override it to inspect other node kinds with the same
+        flow-sensitive intervals."""
+        if isinstance(node, ast.Call) and node.callee == self.accessor_name:
+            offsets = tuple(self.eval(arg, env) for arg in node.args[1:])
+            self.accesses.append(offsets)
 
     # -- statements ------------------------------------------------------------
 
@@ -278,6 +286,12 @@ class _Analyzer:
         if not ascending:
             return None
         return name, Interval(start.lo, max(start.lo, upper))
+
+
+# Public names for reuse outside MapOverlap codegen (the lint pass and
+# the interval-lattice property tests build on the same engine).
+IntervalAnalyzer = _Analyzer
+IntervalEnv = _Env
 
 
 def analyze_get_bounds(function: ast.FunctionDef, overlap: int,

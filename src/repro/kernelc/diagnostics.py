@@ -27,12 +27,16 @@ class Diagnostic:
     span: Optional[Span] = None
 
     def render(self, source: Optional[SourceFile] = None) -> str:
+        # Synthetic spans (BUILTIN_SPAN, line 0) have no source location:
+        # render them exactly like spanless diagnostics instead of
+        # emitting a bogus "<kernel>:0:0:" prefix with no snippet.
+        located = self.span is not None and self.span.start.line > 0
         where = ""
-        if self.span is not None:
+        if located:
             name = source.name if source is not None else "<kernel>"
             where = f"{name}:{self.span.start}: "
         text = f"{where}{self.severity.value}: {self.message}"
-        if source is not None and self.span is not None and self.span.start.line > 0:
+        if source is not None and located:
             text += "\n" + source.snippet(self.span)
         return text
 

@@ -1,0 +1,273 @@
+"""Kernel-source lint: static checks beyond what the type checker enforces.
+
+Runs over the *checked* AST (``ctype``/``symbol``/``resolved``
+annotations present) and reports through the same
+:class:`~repro.kernelc.diagnostics.DiagnosticSink` machinery as the rest
+of the front-end, so findings render with carets like compile errors.
+
+Rule catalogue (see ``docs/analysis.md``):
+
+========================  ========  =================================================
+rule                      severity  fires when
+========================  ========  =================================================
+barrier-divergence        warning   ``barrier()`` inside control flow whose condition
+                                    depends on ``get_global_id``/``get_local_id`` —
+                                    work-items may disagree on reaching it (UB on GPUs)
+constant-index-oob        error     an index into a fixed-size array is *provably*
+                                    out of bounds (interval analysis, the same engine
+                                    as ``boundcheck``)
+unused-binding            warning   a parameter or local variable is never read
+write-to-constant         error     a store through ``__constant`` memory
+missing-return            warning   a non-void function may fall off the end
+                                    without returning a value
+========================  ========  =================================================
+
+Entry points: :func:`lint_program` (library), ``python -m repro.kernelc
+--lint`` (CLI), and ``Program.build()`` which lints every build and
+keeps the findings in ``Program.lint_diagnostics``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from . import ast, boundcheck
+from .ctypes_ import ArrayType, PointerType
+from .diagnostics import Diagnostic, DiagnosticSink
+from .source import Span
+
+# Builtins whose value differs between work-items: control flow keyed on
+# them is divergent.  get_group_id/get_num_groups/get_*_size are uniform
+# across a work-group, which is all barrier semantics needs.
+_DIVERGENT_BUILTINS = {"get_global_id", "get_local_id"}
+
+
+def lint_program(program: ast.Program,
+                 sink: Optional[DiagnosticSink] = None) -> List[Diagnostic]:
+    """Run every lint rule over a checked ``program``; returns the
+    diagnostics (also accumulated into ``sink`` when one is given)."""
+    if sink is None:
+        sink = DiagnosticSink(getattr(program, "source", None))
+    before = len(sink.diagnostics)
+    for fn in program.functions:
+        if fn.body is None:
+            continue
+        _check_barrier_divergence(fn, sink)
+        _check_constant_index_oob(fn, sink)
+        _check_unused_bindings(fn, sink)
+        _check_write_to_constant(fn, sink)
+        _check_missing_return(fn, sink)
+    return sink.diagnostics[before:]
+
+
+# -- rule: barrier-divergence ------------------------------------------------
+
+
+def _expr_divergent(expr: Optional[ast.Expr], tainted: Set[str]) -> bool:
+    if expr is None:
+        return False
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call) and node.callee in _DIVERGENT_BUILTINS:
+            return True
+        if isinstance(node, ast.Identifier) and node.name in tainted:
+            return True
+    return False
+
+
+def _tainted_vars(fn: ast.FunctionDef) -> Set[str]:
+    """Variables whose value (transitively) depends on a work-item id.
+
+    Flow-insensitive fixpoint: sound for the warning's purpose — it may
+    over-taint a name that is later reassigned uniformly, never the
+    reverse."""
+    tainted: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(fn.body):
+            name = rhs = None
+            if isinstance(node, ast.Assignment) and isinstance(node.target, ast.Identifier):
+                name, rhs = node.target.name, node.value
+            elif isinstance(node, ast.VarDecl) and node.init is not None:
+                name, rhs = node.name, node.init
+            if name is not None and name not in tainted and _expr_divergent(rhs, tainted):
+                tainted.add(name)
+                changed = True
+    return tainted
+
+
+def _check_barrier_divergence(fn: ast.FunctionDef, sink: DiagnosticSink) -> None:
+    if not getattr(fn, "uses_barrier", False):
+        return
+    tainted = _tainted_vars(fn)
+
+    def visit(stmt: ast.Stmt, divergent_at: Optional[Span]) -> None:
+        if isinstance(stmt, ast.CompoundStmt):
+            for child in stmt.statements:
+                visit(child, divergent_at)
+        elif isinstance(stmt, ast.IfStmt):
+            here = divergent_at
+            if here is None and _expr_divergent(stmt.condition, tainted):
+                here = stmt.condition.span
+            visit(stmt.then_branch, here)
+            if stmt.else_branch is not None:
+                visit(stmt.else_branch, here)
+        elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoStmt)):
+            here = divergent_at
+            if here is None and _expr_divergent(stmt.condition, tainted):
+                here = stmt.condition.span
+            visit(stmt.body, here)
+        elif isinstance(stmt, ast.SwitchStmt):
+            here = divergent_at
+            if here is None and _expr_divergent(stmt.subject, tainted):
+                here = stmt.subject.span
+            for case in stmt.cases:
+                for child in case.body:
+                    visit(child, here)
+        elif isinstance(stmt, ast.ExprStmt) and stmt.expr is not None:
+            if divergent_at is None:
+                return
+            for node in ast.walk(stmt.expr):
+                if isinstance(node, ast.Call) and node.callee == "barrier":
+                    sink.warning(
+                        "barrier() inside control flow that diverges across "
+                        "work-items (condition at "
+                        f"{divergent_at.start}) — work-items taking different "
+                        "paths deadlock or corrupt local memory on real GPUs "
+                        "[barrier-divergence]",
+                        node.span,
+                    )
+
+    visit(fn.body, None)
+
+
+# -- rule: constant-index-oob ------------------------------------------------
+
+
+class _OobScanner(boundcheck.IntervalAnalyzer):
+    """Reuses the boundcheck interval engine to prove indices OOB.
+
+    Only *definite* violations are reported: the index interval is known
+    (not ⊤) and lies entirely outside ``[0, length)``, so every
+    execution reaching the access is out of bounds."""
+
+    def __init__(self, sink: DiagnosticSink):
+        super().__init__()
+        self.sink = sink
+        self._reported: Set[int] = set()
+
+    def visit_expr(self, node: ast.Expr, env) -> None:
+        super().visit_expr(node, env)
+        if not isinstance(node, ast.Index) or id(node) in self._reported:
+            return
+        base_type = getattr(node.base, "ctype", None)
+        if not isinstance(base_type, ArrayType):
+            return
+        interval = self.eval(node.index, env)
+        if interval.is_top:
+            return
+        if interval.hi < 0 or interval.lo >= base_type.length:
+            self._reported.add(id(node))
+            shown = (f"{int(interval.lo)}" if interval.lo == interval.hi
+                     else f"[{int(interval.lo)}, {int(interval.hi)}]")
+            self.sink.error(
+                f"index {shown} is out of bounds for array of length "
+                f"{base_type.length} [constant-index-oob]",
+                node.span,
+            )
+
+
+def _check_constant_index_oob(fn: ast.FunctionDef, sink: DiagnosticSink) -> None:
+    scanner = _OobScanner(sink)
+    scanner.exec_stmt(fn.body, boundcheck.IntervalEnv())
+
+
+# -- rule: unused-binding ----------------------------------------------------
+
+
+def _check_unused_bindings(fn: ast.FunctionDef, sink: DiagnosticSink) -> None:
+    used: Set[str] = set()
+    for node in ast.walk(fn.body):
+        if isinstance(node, ast.Identifier):
+            used.add(node.name)
+    for param in fn.params:
+        if param.name not in used:
+            sink.warning(
+                f"parameter {param.name!r} of {fn.name}() is never used "
+                f"[unused-binding]",
+                param.span,
+            )
+    for node in ast.walk(fn.body):
+        if isinstance(node, ast.VarDecl) and node.name not in used:
+            sink.warning(
+                f"local variable {node.name!r} is never used [unused-binding]",
+                node.span,
+            )
+
+
+# -- rule: write-to-constant -------------------------------------------------
+
+
+def _lvalue_in_constant_space(target: ast.Expr) -> bool:
+    """True when ``target`` denotes storage in ``__constant`` memory."""
+    node = target
+    while isinstance(node, (ast.Index, ast.Member)):
+        node = node.base
+    if isinstance(node, ast.UnaryOp) and node.op == "*":
+        pointee = getattr(node.operand, "ctype", None)
+        return isinstance(pointee, PointerType) and pointee.address_space == "constant"
+    symbol = getattr(node, "symbol", None)
+    if symbol is None:
+        return False
+    if symbol.address_space == "constant":
+        return True
+    # Indexing a __constant pointer parameter.
+    ctype = symbol.ctype
+    return (target is not node and isinstance(ctype, PointerType)
+            and ctype.address_space == "constant")
+
+
+def _check_write_to_constant(fn: ast.FunctionDef, sink: DiagnosticSink) -> None:
+    for node in ast.walk(fn.body):
+        target = None
+        if isinstance(node, ast.Assignment):
+            target = node.target
+        elif isinstance(node, (ast.UnaryOp, ast.PostfixOp)) and node.op in ("++", "--"):
+            target = node.operand
+        if target is not None and _lvalue_in_constant_space(target):
+            sink.error(
+                "write to __constant memory [write-to-constant]",
+                node.span,
+            )
+
+
+# -- rule: missing-return ----------------------------------------------------
+
+
+def _always_returns(stmt: Optional[ast.Stmt]) -> bool:
+    """Conservatively: does every path through ``stmt`` hit a return?"""
+    if stmt is None:
+        return False
+    if isinstance(stmt, ast.ReturnStmt):
+        return True
+    if isinstance(stmt, ast.CompoundStmt):
+        return any(_always_returns(child) for child in stmt.statements)
+    if isinstance(stmt, ast.IfStmt):
+        return (stmt.else_branch is not None
+                and _always_returns(stmt.then_branch)
+                and _always_returns(stmt.else_branch))
+    if isinstance(stmt, ast.DoStmt):
+        return _always_returns(stmt.body)  # body runs at least once
+    # for/while may iterate zero times; switch may match no case.
+    return False
+
+
+def _check_missing_return(fn: ast.FunctionDef, sink: DiagnosticSink) -> None:
+    if fn.return_type.is_void() or fn.is_kernel:
+        return
+    if not _always_returns(fn.body):
+        sink.warning(
+            f"{fn.name}() returns {fn.return_type} but may fall off the end "
+            f"without a return value [missing-return]",
+            fn.span,
+        )

@@ -20,6 +20,7 @@ Quick example::
     print(event.duration_ms)
 """
 
+from ..analysis.races import RaceDetector, RaceError, RaceWarning, SanitizeMode
 from .buffer import Buffer
 from .context import Context
 from .device import Device, Platform
@@ -59,6 +60,10 @@ __all__ = [
     "OutOfResources",
     "Platform",
     "Program",
+    "RaceDetector",
+    "RaceError",
+    "RaceWarning",
+    "SanitizeMode",
     "TESLA_FERMI_480",
     "TESLA_T10",
     "TEST_DEVICE",

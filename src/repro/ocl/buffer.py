@@ -9,6 +9,7 @@ kernel argument gives it an element type.
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
 import numpy as np
@@ -20,12 +21,17 @@ from .errors import InvalidValue
 
 
 class Buffer:
+    # Process-wide identity for the race detector: ``id()`` can be
+    # reused after garbage collection, a monotonic counter cannot.
+    _uid_counter = itertools.count(1)
+
     def __init__(self, device: Device, nbytes: int, name: str = ""):
         if nbytes <= 0:
             raise InvalidValue(f"buffer size must be positive, got {nbytes}")
         self.device = device
         self.nbytes = int(nbytes)
         self.name = name
+        self.uid = next(Buffer._uid_counter)
         device.allocate(self.nbytes)
         self._storage = np.zeros(self.nbytes, dtype=np.uint8)
         self._released = False

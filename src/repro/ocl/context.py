@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..analysis.races import RaceDetector, SanitizeMode, resolve_sanitize_mode
 from .buffer import Buffer
 from .device import Device, Platform
 from .errors import InvalidValue
@@ -13,7 +14,14 @@ from .spec import DeviceSpec
 
 
 class Context:
-    def __init__(self, devices: Union[Platform, Sequence[Device]]):
+    def __init__(self, devices: Union[Platform, Sequence[Device]],
+                 detect_races=None):
+        """``detect_races`` arms the SkelSan race detector on every queue
+        of this context: ``"report"`` warns on unordered conflicting
+        commands, ``"strict"`` raises :class:`repro.analysis.RaceError`
+        at the racy enqueue.  ``None`` (the default) defers to the
+        ``SKELCL_SANITIZE`` environment variable, so existing code is
+        checked transparently when the switch is set."""
         if isinstance(devices, Platform):
             self.devices: List[Device] = list(devices.devices)
         else:
@@ -22,10 +30,19 @@ class Context:
             raise InvalidValue("a context needs at least one device")
         self.queues: List[CommandQueue] = [CommandQueue(device) for device in self.devices]
         self._buffers: List[Buffer] = []
+        mode = resolve_sanitize_mode(detect_races)
+        self.race_detector: Optional[RaceDetector] = None
+        if mode is not SanitizeMode.OFF:
+            # One detector shared by all queues: the command graph spans
+            # devices (cross-queue wait lists), so must the analysis.
+            self.race_detector = RaceDetector(mode)
+            for queue in self.queues:
+                queue._sanitizer = self.race_detector
 
     @staticmethod
-    def create(spec: DeviceSpec, num_devices: int = 1) -> "Context":
-        return Context(Platform(spec, num_devices))
+    def create(spec: DeviceSpec, num_devices: int = 1,
+               detect_races=None) -> "Context":
+        return Context(Platform(spec, num_devices), detect_races=detect_races)
 
     @property
     def num_devices(self) -> int:
@@ -58,6 +75,16 @@ class Context:
     def reset_timelines(self) -> None:
         for queue in self.queues:
             queue.reset_timeline()
+        if self.race_detector is not None:
+            # Stale graph state would let pre-reset accesses race with
+            # post-reset commands that legitimately reuse the buffers.
+            self.race_detector.reset()
+
+    def check_races(self):
+        """The races recorded so far (empty when detection is off)."""
+        if self.race_detector is None:
+            return []
+        return list(self.race_detector.races)
 
     def finish_all(self) -> int:
         """Resolve the whole command graph (cf. ``clFinish`` on every

@@ -82,6 +82,14 @@ class Event:
     # Planned duration, known at enqueue time; authoritative until the
     # scheduler assigns start/end.
     planned_ns: int = 0
+    # Buffer access set (``repro.analysis.access.BufferAccess`` records):
+    # which byte ranges of which buffers this command reads/writes.
+    # Markers and barriers carry an empty set — pure ordering edges.
+    accesses: List[object] = field(default_factory=list, repr=False, compare=False)
+    # "file:line" of the user-code frame that enqueued the command;
+    # captured only when a sanitizer is attached (provenance costs a
+    # stack walk).
+    enqueue_site: Optional[str] = field(default=None, repr=False, compare=False)
     # Back-pointer to the owning queue (None for hand-built events).
     _queue: Optional[object] = field(default=None, repr=False, compare=False)
 

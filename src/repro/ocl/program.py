@@ -1,22 +1,32 @@
 """Programs: kernel source → checked AST → compiled kernels.
 
-``Program.build()`` runs the full kernelc front-end and the compiling
-backend.  Builds are cached per ``(source, defines)`` so that skeleton
-libraries repeatedly instantiating the same generated source (as SkelCL
-does) only pay the compilation cost once.
+``Program.build()`` runs the full kernelc front-end, the lint pass and
+the compiling backend.  Builds are cached per ``(source, defines)`` so
+that skeleton libraries repeatedly instantiating the same generated
+source (as SkelCL does) only pay the compilation cost once.
+
+Lint findings (:mod:`repro.kernelc.lint`) are recorded on the program
+(``lint_diagnostics``) and rendered into the build log; lint *errors*
+fail the build when the SkelSan strict switch is set
+(``SKELCL_SANITIZE=strict``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..analysis.races import SanitizeMode, resolve_sanitize_mode
 from ..kernelc.compiler import CompiledProgram, compile_program
-from ..kernelc.diagnostics import CompileError
+from ..kernelc.diagnostics import CompileError, Diagnostic, Severity
 from ..kernelc.frontend import compile_source
+from ..kernelc.lint import lint_program
 from ..kernelc.preprocessor import PreprocessorError
 from .errors import BuildError
 
-_BUILD_CACHE: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], CompiledProgram] = {}
+_BUILD_CACHE: Dict[
+    Tuple[str, Tuple[Tuple[str, str], ...]],
+    Tuple[CompiledProgram, List[Diagnostic]],
+] = {}
 
 
 def clear_build_cache() -> None:
@@ -33,6 +43,7 @@ class Program:
         self.name = name
         self.defines = dict(defines) if defines else {}
         self.build_log = ""
+        self.lint_diagnostics: List[Diagnostic] = []
         self._compiled: Optional[CompiledProgram] = None
 
     @property
@@ -43,11 +54,13 @@ class Program:
         key = (self.source, tuple(sorted(self.defines.items())))
         cached = _BUILD_CACHE.get(key)
         if cached is not None:
-            self._compiled = cached
+            self._compiled, self.lint_diagnostics = cached
             self.build_log = "(cached)"
+            self._enforce_lint()
             return self
         try:
             checked = compile_source(self.source, self.name, self.defines)
+            lint = lint_program(checked)
             compiled = compile_program(checked)
         except CompileError as exc:
             self.build_log = str(exc)
@@ -55,10 +68,24 @@ class Program:
         except PreprocessorError as exc:
             self.build_log = str(exc)
             raise BuildError(self.build_log) from exc
-        _BUILD_CACHE[key] = compiled
+        _BUILD_CACHE[key] = (compiled, lint)
         self._compiled = compiled
+        self.lint_diagnostics = lint
         self.build_log = "build successful"
+        if lint:
+            source = getattr(checked, "source", None)
+            rendered = "\n".join(d.render(source) for d in lint)
+            self.build_log += "\n" + rendered
+        self._enforce_lint()
         return self
+
+    def _enforce_lint(self) -> None:
+        """Under ``SKELCL_SANITIZE=strict``, lint errors fail the build."""
+        errors = [d for d in self.lint_diagnostics if d.severity is Severity.ERROR]
+        if errors and resolve_sanitize_mode(None) is SanitizeMode.STRICT:
+            rendered = "\n".join(d.render() for d in errors)
+            self.build_log = rendered
+            raise BuildError(rendered)
 
     @property
     def compiled(self) -> CompiledProgram:

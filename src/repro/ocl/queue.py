@@ -29,11 +29,14 @@ Ordering rules mirror OpenCL 1.x in-order queues with events:
 
 from __future__ import annotations
 
+import os.path
+import sys
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.access import BufferAccess, kernel_buffer_accesses
 from ..kernelc.execmodel import ExecutionCounters
 from .buffer import Buffer
 from .device import Device
@@ -50,6 +53,21 @@ from .executor import execute_ndrange
 from .kernel import Kernel
 from .ndrange import NDRange
 from .timing import kernel_time_ns, simd_utilization, transfer_time_ns
+
+_OCL_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _capture_enqueue_site() -> Optional[str]:
+    """``file.py:line`` of the innermost caller outside ``repro.ocl`` —
+    the skeleton or user code that issued the enqueue."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not os.path.abspath(filename).startswith(_OCL_DIR):
+            parts = filename.replace("\\", "/").rsplit("/", 2)[-2:]
+            return f"{'/'.join(parts)}:{frame.f_lineno}"
+        frame = frame.f_back
+    return None
 
 
 class CommandQueue:
@@ -69,6 +87,8 @@ class CommandQueue:
         self._last_event: Optional[Event] = None
         self._barrier: Optional[Event] = None
         self._horizon = 0  # latest resolved end_ns on this queue
+        # Race detector attached by the owning Context (may stay None).
+        self._sanitizer = None
         # Aggregate statistics over the queue's lifetime.  ``transfer``
         # covers every data-movement command (write/read/copy);
         # ``pcie`` only the commands crossing the host link (write/read).
@@ -134,6 +154,12 @@ class CommandQueue:
             self._engine_tail[event.engine] = event
         if self.profiling:
             self.events.append(event)
+        sanitizer = self._sanitizer
+        if sanitizer is not None and sanitizer.enabled:
+            event.enqueue_site = _capture_enqueue_site()
+            # Queue state is final at this point, so a strict-mode
+            # RaceError leaves a consistent timeline behind it.
+            sanitizer.observe(event)
         return event
 
     def _resolve_until(self, target: Event) -> None:
@@ -204,6 +230,7 @@ class CommandQueue:
             groups_total=result.groups_total,
             groups_executed=result.groups_executed,
         )
+        event.accesses = kernel_buffer_accesses(kernel)
         self._submit(event, duration, event_wait_list)
         self.total_kernel_ns += duration
         return event
@@ -216,6 +243,7 @@ class CommandQueue:
         nbytes = buffer.write_from_host(data, offset_bytes)
         duration = transfer_time_ns(self.device.spec, nbytes)
         event = Event("write_buffer", buffer.name or "buffer", info={"bytes": nbytes})
+        event.accesses = [BufferAccess.write(buffer, offset_bytes, nbytes)]
         self._submit(event, duration, event_wait_list)
         self.total_transfer_ns += duration
         self.total_transfer_bytes += nbytes
@@ -240,6 +268,10 @@ class CommandQueue:
             2 * nbytes / self.device.spec.global_bandwidth_gbs + 1000  # +1us overhead
         )
         event = Event("copy_buffer", dst.name or "buffer", info={"bytes": nbytes})
+        event.accesses = [
+            BufferAccess.read(src, src_offset_bytes, nbytes),
+            BufferAccess.write(dst, dst_offset_bytes, nbytes),
+        ]
         self._submit(event, duration, event_wait_list)
         self.total_transfer_ns += duration
         self.total_transfer_bytes += nbytes
@@ -254,6 +286,7 @@ class CommandQueue:
         data = buffer.read_to_host(dtype, count, offset_bytes)
         duration = transfer_time_ns(self.device.spec, data.nbytes)
         event = Event("read_buffer", buffer.name or "buffer", info={"bytes": data.nbytes})
+        event.accesses = [BufferAccess.read(buffer, offset_bytes, data.nbytes)]
         self._submit(event, duration, event_wait_list)
         self.total_transfer_ns += duration
         self.total_transfer_bytes += data.nbytes
@@ -266,7 +299,9 @@ class CommandQueue:
     def enqueue_marker(self, event_wait_list: Optional[Sequence[Event]] = None) -> Event:
         """A zero-duration event completing when its wait list does; with
         no wait list, when everything previously enqueued has (cf.
-        ``clEnqueueMarkerWithWaitList``)."""
+        ``clEnqueueMarkerWithWaitList``).  Markers (and barriers) carry
+        an empty buffer access set: to the race detector they are pure
+        ordering edges, never racing with anything themselves."""
         event = Event("marker", "marker")
         wait_for = event_wait_list
         if wait_for is None:

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from .distribution import Block, Copy
 from .funcparse import parse_user_function, pointer_param, scalar_return
 from .matrix import Matrix
@@ -232,6 +234,14 @@ class AllPairs:
         n, d = a.shape
         m = b.rows
 
+        if b is a:
+            # Aliased inputs (e.g. allpairs(P, P) in n-body): A needs a
+            # Block distribution while B needs Copy, and redistributing
+            # one side of the shared container would tear down the other
+            # side's chunks mid-flight.  Materialize an independent copy
+            # for the B side instead.
+            b = Matrix(data=np.array(a.to_numpy(), copy=True))
+
         a_chunks = a.ensure_on_devices(Block())
         b_chunks = b.ensure_on_devices(Copy())
         out_dtype = dtype_for_ctype(self.out_type)
@@ -254,6 +264,10 @@ class AllPairs:
             chunk.device_index: b.chunk_events(position)
             for position, (chunk, _buffer) in enumerate(b_chunks)
         }
+        b_position_by_device = {
+            chunk.device_index: position
+            for position, (chunk, _buffer) in enumerate(b_chunks)
+        }
         local0 = local1 = self.tile if self.tiled else 16
         for position, ((a_chunk, a_buffer), (c_chunk, c_buffer)) in enumerate(
             zip(a_chunks, out_chunks)
@@ -269,9 +283,13 @@ class AllPairs:
                 kernel, global_size, (local0, local1),
                 event_wait_list=a.chunk_events(position)
                 + b_events_by_device.get(a_chunk.device_index, [])
-                + out.chunk_events(position),
+                + out.chunk_write_events(position),
             )
             event.info["device_index"] = a_chunk.device_index
+            a.record_chunk_reader(position, event)
+            b_position = b_position_by_device.get(a_chunk.device_index)
+            if b_position is not None:
+                b.record_chunk_reader(b_position, event)
             out.record_chunk_event(position, event)
             self.last_events.append(event)
         out.mark_written_on_devices()

@@ -54,8 +54,11 @@ class Container:
         # Dependency tracking for the asynchronous command graph: per
         # chunk position, the events that must complete before the
         # chunk's buffer holds valid data (uploads, halo writes, kernel
-        # writes); plus the downloads that produced the host copy.
+        # writes); the commands currently *reading* the chunk (a later
+        # writer must wait for them — WAR edges); plus the downloads
+        # that produced the host copy.
         self._chunk_events: Dict[int, List[ocl.Event]] = {}
+        self._chunk_readers: Dict[int, List[ocl.Event]] = {}
         self._host_events: List[ocl.Event] = []
         self.element_ctype = ctype_for_dtype(host.dtype)
 
@@ -89,12 +92,26 @@ class Container:
         — what a kernel reading the chunk must put in its wait list."""
         return list(self._chunk_events.get(position, []))
 
+    def chunk_write_events(self, position: int) -> List[ocl.Event]:
+        """What a command *writing* chunk ``position`` must wait for:
+        the producers of the current contents (WAW) plus every command
+        still reading them (WAR)."""
+        return list(self._chunk_events.get(position, [])) + \
+            list(self._chunk_readers.get(position, []))
+
     def record_chunk_event(self, position: int, event: ocl.Event) -> None:
         """A command (typically a kernel launch) produced chunk
         ``position``'s contents; later consumers wait on it.  The event
         replaces the previous gate — launches are expected to carry the
-        prior chunk events in their own wait lists."""
+        prior chunk (write) events in their own wait lists, which also
+        discharges the recorded readers."""
         self._chunk_events[position] = [event]
+        self._chunk_readers.pop(position, None)
+
+    def record_chunk_reader(self, position: int, event: ocl.Event) -> None:
+        """A command reads chunk ``position``; a later writer of the
+        chunk must order itself after it."""
+        self._chunk_readers.setdefault(position, []).append(event)
 
     def ensure_host(self) -> None:
         """Make the host copy up to date (implicit download)."""
@@ -120,6 +137,7 @@ class Container:
                 self._buffers[position], self._host.dtype, count, offset_bytes,
                 event_wait_list=self.chunk_events(position),
             )
+            self.record_chunk_reader(position, event)
             downloads.append(event)
             self._host[self._unit_slice(chunk.owned_start, chunk.owned_end)] = data
             if self._distribution is not None and self._distribution.kind == "copy":
@@ -238,6 +256,7 @@ class Container:
         self._buffers = new_buffers
         self._chunks = new_chunks
         self._chunk_events = new_events
+        self._chunk_readers = {}
         self._distribution = target
         return True
 
@@ -303,6 +322,7 @@ class Container:
         self._chunks = self._distribution.chunks(self._units, runtime.num_devices)
         self._buffers = {}
         self._chunk_events = {}
+        self._chunk_readers = {}
         for position, chunk in enumerate(self._chunks):
             nbytes = max(chunk.stored_size, 1) * self._unit_elements * self._itembytes()
             device = runtime.devices[chunk.device_index]
@@ -322,13 +342,16 @@ class Container:
             data = self._host[self._unit_slice(chunk.stored_start, chunk.stored_end)]
             # Uploads to distinct devices depend only on the downloads
             # that produced the host copy, so they overlap across
-            # devices' transfer engines.
+            # devices' transfer engines.  Reused buffers (devices were
+            # merely invalidated, not dropped) additionally need WAW/WAR
+            # edges on their previous producers and readers.
             event = queue.enqueue_write_buffer(
                 self._buffers[position], data,
-                event_wait_list=self._host_events,
+                event_wait_list=self._host_events + self.chunk_write_events(position),
             )
             uploads[position] = [event]
         self._chunk_events = uploads
+        self._chunk_readers = {}
         self._device_valid = True
 
     def _drop_buffers(self) -> None:
@@ -337,3 +360,4 @@ class Container:
         self._buffers = {}
         self._chunks = []
         self._chunk_events = {}
+        self._chunk_readers = {}

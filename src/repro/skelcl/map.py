@@ -144,7 +144,7 @@ class Map(Skeleton):
             kernel.set_args(out_buffer, cols, rows, chunk.owned_start, *extras)
             global_size = (round_up(cols, local[0]), round_up(rows, local[1]))
             self._enqueue(chunk.device_index, kernel, global_size, local, sample_fraction,
-                          wait_for=out.chunk_events(position),
+                          wait_for=out.chunk_write_events(position),
                           output=out, output_position=position)
         out.mark_written_on_devices()
         return out
@@ -167,7 +167,7 @@ class Map(Skeleton):
             global_size = round_up(n, self.work_group_size)
             self._enqueue(chunk.device_index, kernel, (global_size,), (self.work_group_size,),
                           sample_fraction,
-                          wait_for=out.chunk_events(position),
+                          wait_for=out.chunk_write_events(position),
                           output=out, output_position=position)
         out.mark_written_on_devices()
         return out
@@ -223,7 +223,8 @@ class Map(Skeleton):
             self._enqueue(in_chunk.device_index, kernel, (global_size,), (self.work_group_size,),
                           sample_fraction,
                           wait_for=input_container.chunk_events(position)
-                          + out.chunk_events(position),
+                          + out.chunk_write_events(position),
+                          inputs=[(input_container, position)],
                           output=out, output_position=position)
         out.mark_written_on_devices()
         return out

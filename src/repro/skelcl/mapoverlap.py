@@ -336,7 +336,8 @@ class MapOverlap(Skeleton):
                             in_chunk.halo_before, in_chunk.stored_size)
             global_size = round_up(n, _VEC_WG)
             self._enqueue(in_chunk.device_index, kernel, (global_size,), (_VEC_WG,),
-                          wait_for=vector.chunk_events(position) + out.chunk_events(position),
+                          wait_for=vector.chunk_events(position) + out.chunk_write_events(position),
+                          inputs=[(vector, position)],
                           output=out, output_position=position)
         out.mark_written_on_devices()
         return out
@@ -362,7 +363,8 @@ class MapOverlap(Skeleton):
                             rows, in_chunk.halo_before, in_chunk.stored_size)
             global_size = (round_up(width, _MAT_WG), round_up(rows, _MAT_WG))
             self._enqueue(in_chunk.device_index, kernel, global_size, (_MAT_WG, _MAT_WG),
-                          wait_for=matrix.chunk_events(position) + out.chunk_events(position),
+                          wait_for=matrix.chunk_events(position) + out.chunk_write_events(position),
+                          inputs=[(matrix, position)],
                           output=out, output_position=position)
         out.mark_written_on_devices()
         return out

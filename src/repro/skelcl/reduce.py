@@ -113,7 +113,8 @@ class Reduce(Skeleton):
             kernel = program.create_kernel("skelcl_reduce")
             kernel.set_args(buffer, partial_buffer, n, chunk.halo_before * unit_elements)
             launch = self._enqueue(chunk.device_index, kernel, (groups * wg,), (wg,),
-                                   wait_for=input_container.chunk_events(position))
+                                   wait_for=input_container.chunk_events(position),
+                                   inputs=[(input_container, position)])
             data, read_event = queue.enqueue_read_buffer(
                 partial_buffer, dtype, groups, event_wait_list=[launch]
             )

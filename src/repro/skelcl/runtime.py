@@ -17,10 +17,10 @@ class SkelCLError(Exception):
 
 
 class SkelCLRuntime:
-    def __init__(self, spec: ocl.DeviceSpec, num_devices: int):
+    def __init__(self, spec: ocl.DeviceSpec, num_devices: int, detect_races=None):
         self.spec = spec
         self.num_devices = num_devices
-        self.context = ocl.Context.create(spec, num_devices)
+        self.context = ocl.Context.create(spec, num_devices, detect_races=detect_races)
 
     @property
     def devices(self) -> List[ocl.Device]:
@@ -48,14 +48,21 @@ class SkelCLRuntime:
 _runtime: Optional[SkelCLRuntime] = None
 
 
-def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None) -> SkelCLRuntime:
+def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None,
+         detect_races=None) -> SkelCLRuntime:
     """Initialize SkelCL on ``num_devices`` simulated GPUs.
 
     Mirrors ``SkelCL::init()``; must be called before creating containers
     or executing skeletons.  Calling it again replaces the runtime.
+
+    ``detect_races`` enables the SkelSan command-graph race detector on
+    every queue (see :mod:`repro.analysis`): ``"report"`` warns,
+    ``"strict"`` raises :class:`repro.analysis.RaceError`; ``None``
+    defers to the ``SKELCL_SANITIZE`` environment variable.
     """
     global _runtime
-    _runtime = SkelCLRuntime(spec if spec is not None else ocl.TESLA_T10, num_devices)
+    _runtime = SkelCLRuntime(spec if spec is not None else ocl.TESLA_T10, num_devices,
+                             detect_races=detect_races)
     return _runtime
 
 

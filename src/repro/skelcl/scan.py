@@ -133,8 +133,9 @@ class Scan(Skeleton):
             final = self._scan_on_device(
                 program, in_chunk.device_index, in_buffer, out_buffer, n,
                 in_chunk.halo_before,
-                wait_for=input_vector.chunk_events(position) + out.chunk_events(position),
+                wait_for=input_vector.chunk_events(position) + out.chunk_write_events(position),
             )
+            input_vector.record_chunk_reader(position, final)
             out.record_chunk_event(position, final)
 
         if len([c for c, _b in chunks if c.owned_size > 0]) > 1:
@@ -189,6 +190,7 @@ class Scan(Skeleton):
                 buffer, dtype, 1, (chunk.owned_size - 1) * dtype.itemsize,
                 event_wait_list=out.chunk_events(position),
             )
+            out.record_chunk_reader(position, read_event)
             totals.append(data[0])
             active.append((position, chunk, buffer))
             total_reads.append(read_event)
@@ -220,5 +222,5 @@ class Scan(Skeleton):
             add_kernel.set_args(buffer, offset_value, chunk.owned_size)
             groups = (chunk.owned_size + _SCAN_WG - 1) // _SCAN_WG
             self._enqueue(chunk.device_index, add_kernel, (groups * _SCAN_WG,), (_SCAN_WG,),
-                          wait_for=[scanned_read] + out.chunk_events(position),
+                          wait_for=[scanned_read] + out.chunk_write_events(position),
                           output=out, output_position=position)

@@ -103,15 +103,18 @@ class Skeleton:
         wait_for: Optional[Sequence[ocl.Event]] = None,
         output=None,
         output_position: Optional[int] = None,
+        inputs: Sequence = (),
     ) -> ocl.Event:
         """Launch ``kernel`` with an explicit wait list.
 
         ``wait_for`` lists the events producing the buffers this launch
-        reads or overwrites (RAW/WAW edges).  When ``output`` (a
+        reads or overwrites (RAW/WAW/WAR edges).  When ``output`` (a
         container) and ``output_position`` are given, the launch event is
         recorded as the new gate for that output chunk, so downstream
         consumers — downloads, redistributions, later skeletons — wait
-        on it."""
+        on it.  ``inputs`` lists ``(container, position)`` pairs the
+        launch reads: the event is recorded as a *reader* of those
+        chunks, so a later writer orders itself after this launch."""
         runtime = get_runtime()
         queue = runtime.queue(device_index)
         event = queue.enqueue_nd_range_kernel(
@@ -119,6 +122,8 @@ class Skeleton:
             event_wait_list=wait_for,
         )
         event.info["device_index"] = device_index
+        for container, position in inputs:
+            container.record_chunk_reader(position, event)
         if output is not None and output_position is not None:
             output.record_chunk_event(output_position, event)
         return self._record(event)

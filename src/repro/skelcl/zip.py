@@ -111,7 +111,8 @@ class Zip(Skeleton):
             self._enqueue(l_chunk.device_index, kernel, (global_size,), (self.work_group_size,),
                           wait_for=left.chunk_events(position)
                           + right.chunk_events(position)
-                          + out.chunk_events(position),
+                          + out.chunk_write_events(position),
+                          inputs=[(left, position), (right, position)],
                           output=out, output_position=position)
         out.mark_written_on_devices()
         return out

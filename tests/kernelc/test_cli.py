@@ -73,3 +73,65 @@ class TestCli:
         }""")
         assert main([str(path)]) == 0
         assert "uses barriers" in capsys.readouterr().out
+
+
+class TestCliLint:
+    def test_lint_clean_kernel(self, kernel_file, capsys):
+        assert main([kernel_file, "--lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_error_sets_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cl"
+        bad.write_text(
+            "__kernel void k(__constant float* c, __global float* a)"
+            " { c[0] = 1.0f; a[0] = c[0]; }"
+        )
+        assert main([str(bad), "--lint"]) == 1
+        assert "[write-to-constant]" in capsys.readouterr().err
+
+    def test_lint_warning_does_not_fail(self, tmp_path, capsys):
+        warn = tmp_path / "warn.cl"
+        warn.write_text("__kernel void k(__global float* a, int unused) { a[0] = 1.0f; }")
+        assert main([str(warn), "--lint"]) == 0
+        assert "[unused-binding]" in capsys.readouterr().err
+
+    def test_lint_python_module_extracts_kernel_strings(self, tmp_path, capsys):
+        module = tmp_path / "module.py"
+        module.write_text(
+            'K = """\n'
+            "__kernel void k(__global float* a, int n) {\n"
+            "    int gid = get_global_id(0);\n"
+            "    if (gid < n) a[gid] = 0.0f;\n"
+            "}\n"
+            '"""\n'
+            'NOT_A_KERNEL = "just a string"\n'
+            'TEMPLATED = f"""\n'
+            "__kernel void t(__global {t}* a) {{ a[0] = 1; }}\n"
+            '"""\n'
+        )
+        assert main([str(module), "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "1 kernel string(s)" in out  # the f-string fragment is skipped
+
+    def test_lint_python_module_reports_errors(self, tmp_path, capsys):
+        module = tmp_path / "module.py"
+        module.write_text(
+            'K = """\n'
+            "__kernel void k(__constant float* c, __global float* a)"
+            " { c[0] = 1.0f; a[0] = c[0]; }\n"
+            '"""\n'
+        )
+        assert main([str(module), "--lint"]) == 1
+        captured = capsys.readouterr()
+        assert "[write-to-constant]" in captured.err
+        assert "with errors" in captured.out
+
+    def test_lint_shipped_baselines_clean(self, capsys):
+        import os
+
+        import repro.baselines as baselines
+
+        root = os.path.dirname(baselines.__file__)
+        for name in sorted(os.listdir(root)):
+            if name.endswith(".py"):
+                assert main([os.path.join(root, name), "--lint"]) == 0

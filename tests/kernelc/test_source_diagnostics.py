@@ -83,3 +83,24 @@ class TestDiagnostics:
         with pytest.raises(CompileError) as excinfo:
             compile_source("void f() {\n    int x = ;\n}")
         assert ":2:" in str(excinfo.value)
+
+    def test_synthetic_span_renders_like_spanless(self):
+        # Regression: BUILTIN_SPAN points at line 0, which used to render
+        # a bogus "<kernel>:0:0:" prefix plus an empty snippet.  Spans
+        # without a real source line must render exactly like spanless
+        # diagnostics, with or without a SourceFile at hand.
+        from repro.kernelc.source import BUILTIN_SPAN
+
+        diagnostic = Diagnostic(Severity.WARNING, "synthetic", BUILTIN_SPAN)
+        source = SourceFile("int x;", "file.cl")
+        assert diagnostic.render() == "warning: synthetic"
+        assert diagnostic.render(source) == "warning: synthetic"
+        spanless = Diagnostic(Severity.WARNING, "synthetic")
+        assert diagnostic.render(source) == spanless.render(source)
+
+    def test_located_span_still_renders_with_snippet(self):
+        source = SourceFile("int x = 1;", "file.cl")
+        diagnostic = Diagnostic(Severity.ERROR, "nope", source.span(4, 5))
+        text = diagnostic.render(source)
+        assert text.startswith("file.cl:1:5: error: nope")
+        assert "^" in text
