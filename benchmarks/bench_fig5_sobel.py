@@ -6,6 +6,9 @@ runs.  Paper result: AMD ≈ 0.17 ms clearly slower (no local memory);
 NVIDIA ≈ 0.07 ms and SkelCL ≈ 0.065 ms similar, SkelCL slightly ahead.
 """
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -19,13 +22,14 @@ from repro.reporting import render_bars
 
 PAPER_MS = {"OpenCL (AMD)": 0.17, "OpenCL (NVIDIA)": 0.07, "SkelCL": 0.065}
 RUNS = 6  # mean of six runs, as in the paper
+RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def _sobel_times(image):
     ctx = ocl.Context.create(ocl.TESLA_FERMI_480)
     amd = SobelAmd(ctx)
     nvidia = SobelNvidia(ctx)
-    skelcl.init(num_devices=1, spec=ocl.TESLA_FERMI_480)
+    session = skelcl.init(num_devices=1, spec=ocl.TESLA_FERMI_480)
     app = SobelEdgeDetection()
     reference = sobel_reference_uchar(image)
 
@@ -49,6 +53,13 @@ def _sobel_times(image):
         amd_ns.append(amd_event.duration_ns)
         nvidia_ns.append(nvidia_event.duration_ns)
         skelcl_ns.append(skelcl_ns[0])
+
+    # SkelScope artifacts: the SkelCL run's Chrome trace (Perfetto-
+    # loadable; CI schema-checks and uploads it) and metrics snapshot.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    session.export_trace(str(RESULTS_DIR / "fig5_sobel.trace.json"))
+    with open(RESULTS_DIR / "fig5_sobel.metrics.json", "w") as handle:
+        json.dump(session.metrics_snapshot(), handle, indent=2, sort_keys=True)
 
     skelcl.terminate()
     ctx.release()

@@ -3,7 +3,12 @@
 Listing 1.5) — compared against the AMD- and NVIDIA-style OpenCL
 baselines on the same simulated Tesla GPU.
 
-Run:  python examples/sobel_edge_detection.py [size]
+Run:  python examples/sobel_edge_detection.py [size] [num_devices]
+
+Set ``SKELCL_TRACE=sobel.trace.json`` to export a Chrome trace of the
+SkelCL run (load it at https://ui.perfetto.dev); with two or more
+devices the trace shows the per-device compute/transfer overlap.
+``SKELCL_METRICS=<path>`` likewise dumps the metrics snapshot.
 """
 
 import sys
@@ -21,6 +26,7 @@ from repro.reporting import render_bars
 
 def main() -> None:
     size = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    num_devices = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     image = synthetic_image(size, size)  # the paper uses 512x512 Lena
     reference = sobel_reference_uchar(image)
 
@@ -28,29 +34,34 @@ def main() -> None:
     amd_edges, amd_event = SobelAmd(context).run(image)
     nvidia_edges, nvidia_event = SobelNvidia(context).run(image)
 
-    skelcl.init(num_devices=1, spec=ocl.TESLA_FERMI_480)
-    app = SobelEdgeDetection()
-    skelcl_edges = app.detect(image)
-    skelcl_event = app.last_events[-1]
+    # Session style: the runtime terminates on block exit, and the exit
+    # honours SKELCL_TRACE / SKELCL_METRICS (see module docstring).
+    with skelcl.init(num_devices=num_devices, spec=ocl.TESLA_FERMI_480) as session:
+        app = SobelEdgeDetection()
+        skelcl_edges = app.detect(image)
+        skelcl_event = app.last_events[-1]
+        session.finish_all()
 
-    print("correctness vs numpy reference:")
-    print(f"  AMD (interior): {np.array_equal(amd_edges[1:-1, 1:-1], reference[1:-1, 1:-1])}")
-    print(f"  NVIDIA:         {np.array_equal(nvidia_edges, reference)}")
-    print(f"  SkelCL:         {np.array_equal(skelcl_edges, reference)}")
-    print(f"  static bounds proof: {app.map_overlap.bounds_proof.proven} "
-          f"(runtime get() checks elided: {app.map_overlap.checks_elided})")
-    print()
-    print(render_bars(
-        {
-            "OpenCL (AMD)": amd_event.duration_ms,
-            "OpenCL (NVIDIA)": nvidia_event.duration_ms,
-            "SkelCL": skelcl_event.duration_ms,
-        },
-        unit="ms",
-        title=f"Sobel kernel runtimes, {size}x{size} (cf. the paper's Fig. 5)",
-        reference={"OpenCL (AMD)": 0.17, "OpenCL (NVIDIA)": 0.07, "SkelCL": 0.065},
-    ))
-    skelcl.terminate()
+        print("correctness vs numpy reference:")
+        print(f"  AMD (interior): {np.array_equal(amd_edges[1:-1, 1:-1], reference[1:-1, 1:-1])}")
+        print(f"  NVIDIA:         {np.array_equal(nvidia_edges, reference)}")
+        print(f"  SkelCL:         {np.array_equal(skelcl_edges, reference)}")
+        print(f"  static bounds proof: {app.map_overlap.bounds_proof.proven} "
+              f"(runtime get() checks elided: {app.map_overlap.checks_elided})")
+        print()
+        print(render_bars(
+            {
+                "OpenCL (AMD)": amd_event.duration_ms,
+                "OpenCL (NVIDIA)": nvidia_event.duration_ms,
+                "SkelCL": skelcl_event.duration_ms,
+            },
+            unit="ms",
+            title=f"Sobel kernel runtimes, {size}x{size} (cf. the paper's Fig. 5)",
+            reference={"OpenCL (AMD)": 0.17, "OpenCL (NVIDIA)": 0.07, "SkelCL": 0.065},
+        ))
+        if num_devices > 1:
+            print()
+            print(session.render_timeline())
 
 
 if __name__ == "__main__":

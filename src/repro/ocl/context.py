@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..analysis.races import RaceDetector, SanitizeMode, resolve_sanitize_mode
+from ..scope.metrics import MetricsRegistry
 from .buffer import Buffer
 from .device import Device, Platform
 from .errors import InvalidValue
@@ -30,6 +31,12 @@ class Context:
             raise InvalidValue("a context needs at least one device")
         self.queues: List[CommandQueue] = [CommandQueue(device) for device in self.devices]
         self._buffers: List[Buffer] = []
+        # SkelScope metrics: one registry per context, shared by all
+        # queues (commands counted at enqueue; timeline gauges derived
+        # at snapshot time, once timestamps are resolved).
+        self.metrics = MetricsRegistry()
+        for queue in self.queues:
+            queue._metrics = self.metrics
         mode = resolve_sanitize_mode(detect_races)
         self.race_detector: Optional[RaceDetector] = None
         if mode is not SanitizeMode.OFF:
@@ -75,6 +82,10 @@ class Context:
     def reset_timelines(self) -> None:
         for queue in self.queues:
             queue.reset_timeline()
+        # The metrics registry covers the same window as the timelines:
+        # stale transfer/PCIe byte totals from a previous iteration
+        # would silently accumulate into the next one's report.
+        self.metrics.reset()
         if self.race_detector is not None:
             # Stale graph state would let pre-reset accesses race with
             # post-reset commands that legitimately reuse the buffers.
@@ -94,6 +105,36 @@ class Context:
         for queue in self.queues:
             queue.flush()
         return max(queue.time_ns for queue in self.queues)
+
+    # -- observability (SkelScope) ----------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Resolve the graph, derive the timeline gauges (engine
+        busy/idle, occupancy, critical path, per-skeleton kernel time)
+        and return the registry's JSON-serializable snapshot."""
+        from ..scope.metrics import derive_timeline_metrics
+
+        derive_timeline_metrics(self)
+        return self.metrics.snapshot()
+
+    def trace_events(self) -> list:
+        """The Chrome trace-event list for the resolved command graph
+        (see :mod:`repro.scope.trace`)."""
+        from ..scope.trace import trace_events
+
+        return trace_events(self)
+
+    def export_trace(self, path: str) -> str:
+        """Write the Perfetto-loadable Chrome trace JSON to ``path``."""
+        from ..scope.trace import write_trace
+
+        return write_trace(self, path)
+
+    def render_timeline(self, width: int = 64) -> str:
+        """ASCII per-device-engine timeline of the resolved graph."""
+        from ..scope.timeline import render_timeline
+
+        return render_timeline(self, width=width)
 
     def release(self) -> None:
         for buffer in self._buffers:

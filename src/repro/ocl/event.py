@@ -22,8 +22,13 @@ on real hardware.
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
+
+# Process-wide event sequence numbers: stable identities for trace flow
+# edges (``id()`` values can be reused after garbage collection).
+_SEQ = itertools.count(1)
 
 
 class EventStatus(enum.Enum):
@@ -90,6 +95,12 @@ class Event:
     # captured only when a sanitizer is attached (provenance costs a
     # stack walk).
     enqueue_site: Optional[str] = field(default=None, repr=False, compare=False)
+    # Trace span name, set by the layer that knows what the command
+    # *means* (skeletons label their launches "Map(func)@file.py:12");
+    # None falls back to ``name`` in trace exports.
+    label: Optional[str] = field(default=None, repr=False, compare=False)
+    # Unique, monotonically increasing id (SkelScope flow-edge ids).
+    seq: int = field(default_factory=lambda: next(_SEQ), repr=False, compare=False)
     # Back-pointer to the owning queue (None for hand-built events).
     _queue: Optional[object] = field(default=None, repr=False, compare=False)
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.races import SanitizeMode, resolve_sanitize_mode
+from ..scope.metrics import record_build
 from ..kernelc.compiler import CompiledProgram, compile_program
 from ..kernelc.diagnostics import CompileError, Diagnostic, Severity
 from ..kernelc.frontend import compile_source
@@ -54,6 +55,7 @@ class Program:
         key = (self.source, tuple(sorted(self.defines.items())))
         cached = _BUILD_CACHE.get(key)
         if cached is not None:
+            record_build(cache_hit=True)
             self._compiled, self.lint_diagnostics = cached
             self.build_log = "(cached)"
             self._enforce_lint()
@@ -68,6 +70,7 @@ class Program:
         except PreprocessorError as exc:
             self.build_log = str(exc)
             raise BuildError(self.build_log) from exc
+        record_build(cache_hit=False)
         _BUILD_CACHE[key] = (compiled, lint)
         self._compiled = compiled
         self.lint_diagnostics = lint

@@ -89,6 +89,9 @@ class CommandQueue:
         self._horizon = 0  # latest resolved end_ns on this queue
         # Race detector attached by the owning Context (may stay None).
         self._sanitizer = None
+        # SkelScope metrics registry attached by the owning Context
+        # (may stay None for bare queues built in tests).
+        self._metrics = None
         # Aggregate statistics over the queue's lifetime.  ``transfer``
         # covers every data-movement command (write/read/copy);
         # ``pcie`` only the commands crossing the host link (write/read).
@@ -154,6 +157,9 @@ class CommandQueue:
             self._engine_tail[event.engine] = event
         if self.profiling:
             self.events.append(event)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("skelcl_commands_total", kind=event.command_type).inc()
         sanitizer = self._sanitizer
         if sanitizer is not None and sanitizer.enabled:
             event.enqueue_site = _capture_enqueue_site()
@@ -161,6 +167,17 @@ class CommandQueue:
             # RaceError leaves a consistent timeline behind it.
             sanitizer.observe(event)
         return event
+
+    def _count_transfer(self, link: str, direction: str, nbytes: int, duration: int) -> None:
+        """Metrics for one data movement: ``link`` separates the host
+        link ("pcie": write/read) from device-local traffic ("device":
+        copy_buffer, i.e. the inter-GPU redistribution path)."""
+        metrics = self._metrics
+        if metrics is None:
+            return
+        device = self.device.index
+        metrics.counter("skelcl_transfer_bytes_total", link=link, direction=direction).inc(nbytes)
+        metrics.counter("skelcl_transfer_ns_total", link=link, device=device).inc(duration)
 
     def _resolve_until(self, target: Event) -> None:
         """Resolve pending commands (in order) until ``target`` is complete."""
@@ -233,6 +250,12 @@ class CommandQueue:
         event.accesses = kernel_buffer_accesses(kernel)
         self._submit(event, duration, event_wait_list)
         self.total_kernel_ns += duration
+        if self._metrics is not None:
+            device = self.device.index
+            self._metrics.counter("skelcl_kernel_ns_total", device=device).inc(duration)
+            self._metrics.counter("skelcl_work_items_total").inc(ndrange.total_work_items)
+            self._metrics.counter("skelcl_kernel_ops_total").inc(result.counters.ops)
+            self._metrics.histogram("skelcl_kernel_ns", device=device).observe(duration)
         return event
 
     def enqueue_write_buffer(self, buffer: Buffer, data: np.ndarray, blocking: bool = True,
@@ -249,6 +272,7 @@ class CommandQueue:
         self.total_transfer_bytes += nbytes
         self.total_pcie_ns += duration
         self.total_pcie_bytes += nbytes
+        self._count_transfer("pcie", "h2d", nbytes, duration)
         return event
 
     def enqueue_copy_buffer(self, src: Buffer, dst: Buffer, nbytes: int,
@@ -275,6 +299,7 @@ class CommandQueue:
         self._submit(event, duration, event_wait_list)
         self.total_transfer_ns += duration
         self.total_transfer_bytes += nbytes
+        self._count_transfer("device", "d2d", nbytes, duration)
         return event
 
     def enqueue_read_buffer(self, buffer: Buffer, dtype, count: Optional[int] = None,
@@ -292,6 +317,7 @@ class CommandQueue:
         self.total_transfer_bytes += data.nbytes
         self.total_pcie_ns += duration
         self.total_pcie_bytes += data.nbytes
+        self._count_transfer("pcie", "d2h", data.nbytes, duration)
         return data, event
 
     # -- synchronization commands -------------------------------------------

@@ -1,0 +1,136 @@
+"""``python -m repro.scope`` — run a built-in workload under SkelScope.
+
+Runs one of the bundled benchmarks on the simulated multi-GPU runtime
+and emits the observability artefacts::
+
+    python -m repro.scope sobel --devices 2 --trace sobel.trace.json
+    python -m repro.scope dotproduct --metrics metrics.json --report
+    python -m repro.scope matmul --devices 4 --timeline
+
+The Chrome trace loads in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  A previously written trace can be checked
+against the SkelScope schema without re-running anything::
+
+    python -m repro.scope --validate sobel.trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+
+def _workload_sobel(size: int) -> None:
+    from ..apps.sobel import SobelEdgeDetection
+
+    rng = np.random.default_rng(7)
+    image = rng.integers(0, 256, size=(size, size), dtype=np.uint8)
+    SobelEdgeDetection().detect(image)
+
+
+def _workload_dotproduct(size: int) -> None:
+    import repro.skelcl as skelcl
+
+    rng = np.random.default_rng(7)
+    mult = skelcl.Zip("float func(float x, float y) { return x * y; }")
+    sum_ = skelcl.Reduce("float func(float x, float y) { return x + y; }")
+    a = skelcl.Vector(data=rng.random(size * size, dtype=np.float32))
+    b = skelcl.Vector(data=rng.random(size * size, dtype=np.float32))
+    sum_(mult(a, b, label="dot.multiply"), label="dot.sum").get_value()
+
+
+def _workload_matmul(size: int) -> None:
+    import repro.skelcl as skelcl
+
+    rng = np.random.default_rng(7)
+    mult = skelcl.Zip("float func(float x, float y) { return x * y; }")
+    plus = skelcl.Reduce("float func(float x, float y) { return x + y; }")
+    matmul = skelcl.AllPairs(plus, mult)
+    a = skelcl.Matrix(data=rng.random((size, size), dtype=np.float32))
+    b = skelcl.Matrix(data=rng.random((size, size), dtype=np.float32))
+    matmul(a, b, label="matmul").to_numpy()
+
+
+WORKLOADS = {
+    "sobel": (_workload_sobel, 256),
+    "dotproduct": (_workload_dotproduct, 512),
+    "matmul": (_workload_matmul, 128),
+}
+
+
+def _validate_file(path: str) -> int:
+    from .trace import validate_trace
+
+    with open(path) as handle:
+        trace = json.load(handle)
+    problems = validate_trace(trace)
+    if problems:
+        print(f"{path}: INVALID ({len(problems)} problem(s))")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    events = trace.get("traceEvents", trace if isinstance(trace, list) else [])
+    print(f"{path}: OK ({len(events)} trace events)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scope",
+        description="Run a workload under SkelScope tracing, or validate a trace.",
+    )
+    parser.add_argument("workload", nargs="?", choices=sorted(WORKLOADS),
+                        help="built-in workload to run")
+    parser.add_argument("--devices", type=int, default=2,
+                        help="number of simulated GPUs (default 2)")
+    parser.add_argument("--size", type=int, default=None,
+                        help="problem size (workload-specific default)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write the Chrome trace-event JSON here")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="write the metrics snapshot JSON here")
+    parser.add_argument("--timeline", action="store_true",
+                        help="print the ASCII device timeline")
+    parser.add_argument("--report", action="store_true",
+                        help="print the profiling report (per-skeleton + critical path)")
+    parser.add_argument("--validate", metavar="TRACE",
+                        help="validate an existing trace file and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        return _validate_file(args.validate)
+    if args.workload is None:
+        parser.error("a workload (or --validate) is required")
+
+    import repro.skelcl as skelcl
+    from . import validate_trace, write_trace
+    from .profile import profile
+
+    run, default_size = WORKLOADS[args.workload]
+    size = args.size or default_size
+
+    with skelcl.init(num_devices=args.devices) as session:
+        with profile(session) as prof:
+            run(size)
+        if args.trace:
+            write_trace(session.context, args.trace)
+            with open(args.trace) as handle:
+                problems = validate_trace(json.load(handle))
+            status = "valid" if not problems else f"INVALID: {problems}"
+            print(f"trace written to {args.trace} ({status})")
+        if args.metrics:
+            with open(args.metrics, "w") as handle:
+                json.dump(session.metrics_snapshot(), handle, indent=2, sort_keys=True)
+            print(f"metrics written to {args.metrics}")
+        if args.timeline:
+            print(prof.timeline())
+        if args.report or not (args.trace or args.metrics or args.timeline):
+            print(prof.report())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,8 +30,9 @@ from .index import IndexMatrix, IndexVector
 from .map import Map
 from .mapoverlap import BoundaryMode, MapOverlap, SCL_NEAREST, SCL_NEUTRAL
 from .matrix import Matrix
+from ..scope.profile import profile
 from .reduce import Reduce
-from .runtime import SkelCLError, get_runtime, init, is_initialized, terminate
+from .runtime import Session, SkelCLError, get_runtime, init, is_initialized, terminate
 from .scalar import Scalar
 from .scan import Scan
 from .skeleton import DEFAULT_WORK_GROUP_SIZE, Skeleton
@@ -58,6 +59,7 @@ __all__ = [
     "SCL_NEUTRAL",
     "Scalar",
     "Scan",
+    "Session",
     "Single",
     "SkelCLError",
     "Skeleton",
@@ -70,6 +72,7 @@ __all__ = [
     "init",
     "is_initialized",
     "overlap",
+    "profile",
     "single",
     "terminate",
 ]

@@ -32,7 +32,7 @@ from .funcparse import parse_user_function, pointer_param, scalar_return
 from .matrix import Matrix
 from .reduce import Reduce
 from .runtime import SkelCLError, get_runtime
-from .skeleton import rename_function, round_up
+from .skeleton import default_call_label, positional_out_shim, rename_function, round_up
 from .types_ import dtype_for_ctype
 from .zip import Zip
 
@@ -149,6 +149,7 @@ class AllPairs:
                  source: Optional[str] = None, tiled: bool = False, tile: int = 16):
         self.last_events = []
         self._programs = {}
+        self._call_label: Optional[str] = None
         self.tiled = tiled
         self.tile = tile
         if source is not None:
@@ -219,8 +220,19 @@ class AllPairs:
 
     # -- execution ----------------------------------------------------------------
 
-    def __call__(self, a: Matrix, b: Matrix, out: Optional[Matrix] = None) -> Matrix:
+    def __call__(self, a: Matrix, b: Matrix, *_deprecated,
+                 out: Optional[Matrix] = None,
+                 label: Optional[str] = None) -> Matrix:
+        if out is None:
+            out = positional_out_shim(_deprecated, "AllPairs")
+        elif _deprecated:
+            raise SkelCLError("AllPairs got both a positional and a keyword output container")
         self.last_events = []
+        if self._mode == "raw":
+            func_name = self.user.name
+        else:
+            func_name = f"{self.reduce.user.name}∘{self.zip.user.name}"
+        self._call_label = label or default_call_label("AllPairs", func_name)
         runtime = get_runtime()
         if not isinstance(a, Matrix) or not isinstance(b, Matrix):
             raise SkelCLError("AllPairs operates on two matrices")
@@ -286,6 +298,7 @@ class AllPairs:
                 + out.chunk_write_events(position),
             )
             event.info["device_index"] = a_chunk.device_index
+            event.label = self._call_label
             a.record_chunk_reader(position, event)
             b_position = b_position_by_device.get(a_chunk.device_index)
             if b_position is not None:

@@ -173,8 +173,9 @@ class Map(Skeleton):
         return out
 
     def __call__(self, input_container: Union[Vector, Matrix], *extra_args,
-                 out: Optional[Container] = None, sample_fraction: Optional[float] = None):
-        self._begin_call()
+                 out: Optional[Container] = None, label: Optional[str] = None,
+                 sample_fraction: Optional[float] = None):
+        self._begin_call(label)
         runtime = get_runtime()
         from .index import IndexMatrix, IndexVector
 

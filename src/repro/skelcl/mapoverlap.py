@@ -43,7 +43,7 @@ from .distribution import Block, Copy, Distribution, Overlap, Single
 from .funcparse import append_hidden_params, pointer_param, scalar_return
 from .matrix import Matrix
 from .runtime import SkelCLError
-from .skeleton import Skeleton, round_up, scalar_literal
+from .skeleton import Skeleton, positional_out_shim, round_up, scalar_literal
 from .types_ import dtype_for_ctype
 from .vector import Vector
 
@@ -305,8 +305,14 @@ class MapOverlap(Skeleton):
 
     # -- execution -------------------------------------------------------------------
 
-    def __call__(self, input_container: Union[Vector, Matrix], out=None):
-        self._begin_call()
+    def __call__(self, input_container: Union[Vector, Matrix], *_deprecated,
+                 out: Optional[Union[Vector, Matrix]] = None,
+                 label: Optional[str] = None):
+        if out is None:
+            out = positional_out_shim(_deprecated, "MapOverlap")
+        elif _deprecated:
+            raise SkelCLError("MapOverlap got both a positional and a keyword output container")
+        self._begin_call(label)
         expected = dtype_for_ctype(self.in_type)
         if input_container.dtype != expected:
             raise SkelCLError(

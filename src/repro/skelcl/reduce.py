@@ -16,7 +16,7 @@ inactive lanes.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -78,10 +78,16 @@ class Reduce(Skeleton):
             wg=self.work_group_size,
         )
 
-    def __call__(self, input_container: Union[Vector, Matrix]) -> Scalar:
-        self._begin_call()
+    def __call__(self, input_container: Union[Vector, Matrix], *,
+                 out: Optional[Scalar] = None,
+                 label: Optional[str] = None) -> Scalar:
+        self._begin_call(label)
         runtime = get_runtime()
         dtype = self.result_dtype(self.element_type)
+        if out is not None and not isinstance(out, Scalar):
+            raise SkelCLError(
+                f"Reduce out= must be a Scalar, got {type(out).__name__}"
+            )
         if input_container.dtype != dtype:
             raise SkelCLError(
                 f"Reduce input dtype {input_container.dtype} does not match {self.element_type}"
@@ -126,7 +132,7 @@ class Reduce(Skeleton):
             raise SkelCLError("Reduce over an empty container")
         gathered = np.concatenate(partials)
         if len(gathered) == 1:
-            return Scalar(gathered[0], dtype)
+            return self._result(gathered[0], dtype, out)
 
         # Final stage: fold all partials in a single work-group on
         # device 0.  The gathered array depends on every partial
@@ -145,4 +151,10 @@ class Reduce(Skeleton):
                                                     event_wait_list=[launch2])
         in_buffer.release()
         out_buffer.release()
-        return Scalar(result[0], dtype)
+        return self._result(result[0], dtype, out)
+
+    @staticmethod
+    def _result(value, dtype, out: Optional[Scalar]) -> Scalar:
+        if out is not None:
+            return out.assign(value, dtype)
+        return Scalar(value, dtype)

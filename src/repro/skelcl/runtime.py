@@ -1,12 +1,29 @@
 """SkelCL runtime initialization (``SkelCL::init()`` in the paper).
 
-A process-wide singleton holds the simulated OpenCL context (one command
-queue per GPU).  Containers and skeletons created afterwards use it
-implicitly, mirroring the original library's global detail-hiding.
+``init()`` returns a :class:`Session` — an object owning the simulated
+OpenCL context (one command queue per GPU) that is also installed as
+the process-wide runtime, mirroring the original library's global
+detail-hiding.  Containers and skeletons created afterwards use the
+installed session implicitly; scoped code can instead write::
+
+    with skelcl.init(num_devices=2) as session:
+        ...                       # session.devices, session.metrics
+        session.finish_all()
+    # terminate() ran on exit
+
+``terminate()`` is idempotent, and a ``Session`` closing itself only
+tears down the global runtime if it still *is* the global runtime (a
+later ``init()`` replaces it, as before).
+
+On teardown the session honours the SkelScope environment switches:
+``SKELCL_TRACE=<path>`` exports the Chrome trace of everything the
+session executed, ``SKELCL_METRICS=<path>`` the metrics snapshot JSON.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from typing import List, Optional
 
 from .. import ocl
@@ -45,15 +62,99 @@ class SkelCLRuntime:
         self.context.reset_timelines()
 
 
-_runtime: Optional[SkelCLRuntime] = None
+class Session(SkelCLRuntime):
+    """A SkelCL runtime usable as a context manager.
+
+    Owns the devices/queues/context of one ``init()`` call and exposes
+    the SkelScope surface: ``session.metrics`` (the context's metrics
+    registry), ``session.profile()`` (a scoped profiler, see
+    :mod:`repro.scope.profile`), ``session.export_trace(path)`` and
+    ``session.metrics_snapshot()``.  Exiting the ``with`` block (or
+    calling :meth:`close`) terminates the runtime; both are idempotent.
+    """
+
+    def __init__(self, spec: ocl.DeviceSpec, num_devices: int, detect_races=None):
+        super().__init__(spec, num_devices, detect_races=detect_races)
+        self._closed = False
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def metrics(self):
+        """The context's SkelScope metrics registry."""
+        return self.context.metrics
+
+    def metrics_snapshot(self) -> dict:
+        return self.context.metrics_snapshot()
+
+    def profile(self, *args, **kwargs):
+        """``with session.profile() as prof:`` — see :func:`repro.scope.profile`."""
+        from ..scope.profile import profile as _profile
+
+        return _profile(self, *args, **kwargs)
+
+    def export_trace(self, path: str) -> str:
+        return self.context.export_trace(path)
+
+    def render_timeline(self, width: int = 64) -> str:
+        return self.context.render_timeline(width=width)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Terminate this session (idempotent).  If it is still the
+        installed global runtime, the module-level state is cleared
+        too; a session replaced by a later ``init()`` only releases its
+        own context."""
+        global _runtime
+        if self._closed:
+            return
+        self._closed = True
+        _dump_observability(self)
+        self.context.release()
+        if _runtime is self:
+            _runtime = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+_runtime: Optional[Session] = None
+
+
+def _dump_observability(session: Session) -> None:
+    """Honour ``SKELCL_TRACE`` / ``SKELCL_METRICS`` at teardown."""
+    trace_path = os.environ.get("SKELCL_TRACE")
+    metrics_path = os.environ.get("SKELCL_METRICS")
+    if not trace_path and not metrics_path:
+        return
+    from .. import scope
+
+    session.context.finish_all()
+    if trace_path:
+        scope.write_trace(session.context, trace_path)
+    if metrics_path:
+        snapshot = session.context.metrics_snapshot()
+        with open(metrics_path, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
 
 
 def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None,
-         detect_races=None) -> SkelCLRuntime:
+         detect_races=None) -> Session:
     """Initialize SkelCL on ``num_devices`` simulated GPUs.
 
     Mirrors ``SkelCL::init()``; must be called before creating containers
     or executing skeletons.  Calling it again replaces the runtime.
+    Returns a :class:`Session`, usable directly (the classic global
+    style) or as a context manager that terminates on exit.
 
     ``detect_races`` enables the SkelSan command-graph race detector on
     every queue (see :mod:`repro.analysis`): ``"report"`` warns,
@@ -61,20 +162,20 @@ def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None,
     defers to the ``SKELCL_SANITIZE`` environment variable.
     """
     global _runtime
-    _runtime = SkelCLRuntime(spec if spec is not None else ocl.TESLA_T10, num_devices,
-                             detect_races=detect_races)
+    _runtime = Session(spec if spec is not None else ocl.TESLA_T10, num_devices,
+                       detect_races=detect_races)
     return _runtime
 
 
 def terminate() -> None:
-    """Release the runtime (``SkelCL::terminate()``)."""
-    global _runtime
-    if _runtime is not None:
-        _runtime.context.release()
-    _runtime = None
+    """Release the runtime (``SkelCL::terminate()``).  Idempotent: safe
+    to call with no runtime installed, or twice."""
+    runtime = _runtime
+    if runtime is not None:
+        runtime.close()  # clears the global when it is still installed
 
 
-def get_runtime() -> SkelCLRuntime:
+def get_runtime() -> Session:
     if _runtime is None:
         raise SkelCLError("SkelCL is not initialized; call skelcl.init() first")
     return _runtime

@@ -16,6 +16,13 @@ class Scalar:
         """The host value (``C.getValue()`` in the paper's listing)."""
         return self._value.item()
 
+    def assign(self, value, dtype=None) -> "Scalar":
+        """Overwrite the held value (fills a preallocated ``out=`` Scalar)."""
+        if dtype is not None:
+            self._dtype = np.dtype(dtype)
+        self._value = self._dtype.type(value)
+        return self
+
     @property
     def value(self):
         return self._value.item()

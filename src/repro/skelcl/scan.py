@@ -23,8 +23,10 @@ import numpy as np
 
 from .distribution import Block
 from .funcparse import scalar_param, scalar_return
+from typing import Optional
+
 from .runtime import SkelCLError, get_runtime
-from .skeleton import Skeleton
+from .skeleton import Skeleton, positional_out_shim
 from .vector import Vector
 
 # Hillis-Steele uses one element per work-item; 256 matches the SkelCL
@@ -105,8 +107,14 @@ class Scan(Skeleton):
             wg=_SCAN_WG,
         )
 
-    def __call__(self, input_vector: Vector, out: Vector = None) -> Vector:
-        self._begin_call()
+    def __call__(self, input_vector: Vector, *_deprecated,
+                 out: Optional[Vector] = None,
+                 label: Optional[str] = None) -> Vector:
+        if out is None:
+            out = positional_out_shim(_deprecated, "Scan")
+        elif _deprecated:
+            raise SkelCLError("Scan got both a positional and a keyword output container")
+        self._begin_call(label)
         if not isinstance(input_vector, Vector):
             raise SkelCLError("Scan operates on vectors")
         runtime = get_runtime()

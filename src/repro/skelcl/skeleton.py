@@ -16,7 +16,10 @@ kernel caching.
 
 from __future__ import annotations
 
+import os.path
 import re
+import sys
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -31,6 +34,49 @@ from .types_ import dtype_for_ctype
 # SkelCL's default work-group size (§4.1: "SkelCL uses its default
 # work-group size of 256").
 DEFAULT_WORK_GROUP_SIZE = 256
+
+_SKELCL_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def capture_call_site() -> Optional[str]:
+    """``file.py:line`` of the innermost caller outside ``repro.skelcl``
+    — the user code that invoked the skeleton.  One cheap frame walk
+    per skeleton *call* (not per command)."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not os.path.abspath(filename).startswith(_SKELCL_DIR):
+            return f"{filename.replace(os.sep, '/').rsplit('/', 1)[-1]}:{frame.f_lineno}"
+        frame = frame.f_back
+    return None
+
+
+def default_call_label(skeleton_name: str, func_name: str) -> str:
+    """The trace span name for an unlabelled call: skeleton + user
+    function + call site, e.g. ``MapOverlap(func)@sobel.py:38``."""
+    site = capture_call_site()
+    label = f"{skeleton_name}({func_name})"
+    return f"{label}@{site}" if site else label
+
+
+def positional_out_shim(args: Sequence, skeleton_name: str):
+    """Deprecation shim for the pre-unification calling convention that
+    passed the output container positionally.  Returns the container
+    (or None) and warns; anything beyond one positional is an error."""
+    if not args:
+        return None
+    if len(args) > 1:
+        raise SkelCLError(
+            f"{skeleton_name} takes at most one positional output container, "
+            f"got {len(args)} extra positional arguments"
+        )
+    warnings.warn(
+        f"passing the output container to {skeleton_name} positionally is "
+        f"deprecated; use the keyword form out=...",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return args[0]
 
 
 def round_up(value: int, multiple: int) -> int:
@@ -59,6 +105,7 @@ class Skeleton:
         self.user: UserFunction = parse_user_function(source)
         self._programs: Dict[str, ocl.Program] = {}
         self.last_events: List[ocl.Event] = []
+        self._call_label: Optional[str] = None
 
     # -- programs ------------------------------------------------------------
 
@@ -72,11 +119,18 @@ class Skeleton:
     # -- launches ---------------------------------------------------------------
 
     def _record(self, event: ocl.Event) -> ocl.Event:
+        event.label = self._call_label
         self.last_events.append(event)
         return event
 
-    def _begin_call(self) -> None:
+    def _begin_call(self, label: Optional[str] = None) -> None:
+        """Start a new skeleton invocation: clears the per-call event
+        list and fixes the call's trace span label (an explicit
+        ``label=`` argument, or skeleton + function + call site)."""
         self.last_events = []
+        self._call_label = label or default_call_label(
+            type(self).__name__, self.user.name
+        )
 
     @property
     def last_kernel_time_ns(self) -> int:

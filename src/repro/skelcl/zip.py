@@ -60,8 +60,9 @@ class Zip(Skeleton):
         )
 
     def __call__(self, left: Union[Vector, Matrix], right: Union[Vector, Matrix],
-                 *extra_args, out: Optional[Container] = None):
-        self._begin_call()
+                 *extra_args, out: Optional[Container] = None,
+                 label: Optional[str] = None):
+        self._begin_call(label)
         runtime = get_runtime()
         if type(left) is not type(right):
             raise SkelCLError("Zip inputs must both be vectors or both be matrices")

@@ -1,0 +1,124 @@
+"""The unified skeleton calling convention: keyword-only ``out=`` /
+``label=`` everywhere, with deprecation shims for the old positional
+output-container forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+
+
+def _sobel_overlap():
+    return skelcl.MapOverlap(
+        "float func(float* v) { return get(v, -1) + get(v, 1); }",
+        1, skelcl.SCL_NEUTRAL, 0.0,
+    )
+
+
+def test_every_skeleton_accepts_label_keyword(runtime_2gpu, rng):
+    data = rng.rand(256).astype(np.float32)
+    a = skelcl.Vector(data=data)
+    b = skelcl.Vector(data=data)
+
+    skelcl.Map("float func(float x) { return -x; }")(a, label="L-map")
+    skelcl.Zip("float func(float x, float y) { return x + y; }")(a, b, label="L-zip")
+    skelcl.Reduce("float func(float x, float y) { return x + y; }")(a, label="L-reduce")
+    skelcl.Scan("float func(float x, float y) { return x + y; }")(a, label="L-scan")
+    _sobel_overlap()(skelcl.Vector(data=data), label="L-overlap")
+    mult = skelcl.Zip("float func(float x, float y) { return x * y; }")
+    plus = skelcl.Reduce("float func(float x, float y) { return x + y; }")
+    m = skelcl.Matrix(data=rng.rand(16, 8).astype(np.float32))
+    skelcl.AllPairs(plus, zip=mult)(m, m, label="L-allpairs")
+
+    runtime_2gpu.finish_all()
+    labels = {
+        event.label
+        for queue in runtime_2gpu.queues
+        for event in queue.events
+        if event.command_type == "ndrange_kernel"
+    }
+    assert {"L-map", "L-zip", "L-reduce", "L-scan", "L-overlap", "L-allpairs"} <= labels
+
+
+def test_unlabelled_calls_get_skeleton_and_call_site_labels(runtime_1gpu, rng):
+    neg = skelcl.Map("float func(float x) { return -x; }")
+    neg(skelcl.Vector(data=rng.rand(64).astype(np.float32)))
+    runtime_1gpu.finish_all()
+    kernel_labels = [
+        event.label
+        for queue in runtime_1gpu.queues
+        for event in queue.events
+        if event.command_type == "ndrange_kernel"
+    ]
+    assert kernel_labels
+    for label in kernel_labels:
+        assert label.startswith("Map(func)@")
+        assert "test_api_unification.py" in label
+
+
+@pytest.mark.parametrize("make_call", [
+    pytest.param(lambda v, out: skelcl.Scan(
+        "float func(float x, float y) { return x + y; }")(v, out), id="scan"),
+    pytest.param(lambda v, out: _sobel_overlap()(v, out), id="mapoverlap"),
+])
+def test_positional_out_is_deprecated(runtime_1gpu, rng, make_call):
+    data = rng.rand(128).astype(np.float32)
+    vector = skelcl.Vector(data=data)
+    out = skelcl.Vector(128, dtype=np.float32)
+    with pytest.deprecated_call():
+        result = make_call(vector, out)
+    assert result is out
+
+
+def test_allpairs_positional_out_is_deprecated(runtime_1gpu, rng):
+    mult = skelcl.Zip("float func(float x, float y) { return x * y; }")
+    plus = skelcl.Reduce("float func(float x, float y) { return x + y; }")
+    matmul = skelcl.AllPairs(plus, zip=mult)
+    a = skelcl.Matrix(data=rng.rand(8, 4).astype(np.float32))
+    out = skelcl.Matrix((8, 8), dtype=np.float32)
+    with pytest.deprecated_call():
+        result = matmul(a, a, out)
+    assert result is out
+
+
+def test_keyword_out_does_not_warn(runtime_1gpu, rng, recwarn):
+    scan = skelcl.Scan("float func(float x, float y) { return x + y; }")
+    vector = skelcl.Vector(data=rng.rand(64).astype(np.float32))
+    out = skelcl.Vector(64, dtype=np.float32)
+    result = scan(vector, out=out)
+    assert result is out
+    assert not [w for w in recwarn.list if w.category is DeprecationWarning]
+
+
+def test_positional_and_keyword_out_together_is_an_error(runtime_1gpu, rng):
+    scan = skelcl.Scan("float func(float x, float y) { return x + y; }")
+    vector = skelcl.Vector(data=rng.rand(64).astype(np.float32))
+    out = skelcl.Vector(64, dtype=np.float32)
+    with pytest.raises(skelcl.SkelCLError):
+        scan(vector, out, out=out)
+
+
+def test_too_many_positionals_is_an_error(runtime_1gpu, rng):
+    scan = skelcl.Scan("float func(float x, float y) { return x + y; }")
+    vector = skelcl.Vector(data=rng.rand(64).astype(np.float32))
+    out = skelcl.Vector(64, dtype=np.float32)
+    with pytest.raises(skelcl.SkelCLError):
+        scan(vector, out, out)
+
+
+def test_reduce_fills_preallocated_scalar(runtime_2gpu, rng):
+    data = rng.rand(512).astype(np.float32)
+    total = skelcl.Reduce("float func(float x, float y) { return x + y; }")
+    target = skelcl.Scalar(0.0)
+    result = total(skelcl.Vector(data=data), out=target)
+    assert result is target
+    assert np.isclose(target.get_value(), data.sum(), rtol=1e-4)
+
+
+def test_reduce_rejects_non_scalar_out(runtime_1gpu, rng):
+    total = skelcl.Reduce("float func(float x, float y) { return x + y; }")
+    vector = skelcl.Vector(data=rng.rand(64).astype(np.float32))
+    with pytest.raises(skelcl.SkelCLError):
+        total(vector, out=skelcl.Vector(1, dtype=np.float32))

@@ -1,0 +1,65 @@
+"""``python -m repro.scope``: the workload runner and trace validator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.skelcl as skelcl
+from repro.scope.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    yield
+    skelcl.terminate()
+
+
+def test_cli_runs_workload_and_emits_artifacts(tmp_path, capsys):
+    trace_path = tmp_path / "dot.trace.json"
+    metrics_path = tmp_path / "dot.metrics.json"
+    code = main([
+        "dotproduct", "--devices", "2", "--size", "64",
+        "--trace", str(trace_path), "--metrics", str(metrics_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "valid" in out and "INVALID" not in out
+
+    from repro.scope import validate_trace
+
+    trace = json.loads(trace_path.read_text())
+    assert validate_trace(trace) == []
+    snapshot = json.loads(metrics_path.read_text())
+    assert snapshot["counters"]["skelcl_commands_total"]
+    # The CLI terminates its session on exit.
+    assert not skelcl.is_initialized()
+
+
+def test_cli_report_mode(capsys):
+    assert main(["sobel", "--devices", "2", "--size", "32", "--report"]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    assert "SkelScope metrics" in out
+
+
+def test_cli_timeline_mode(capsys):
+    assert main(["matmul", "--devices", "2", "--size", "16", "--timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "GPU0.compute" in out
+
+
+def test_cli_validate_accepts_good_trace(tmp_path, capsys):
+    trace_path = tmp_path / "ok.trace.json"
+    main(["dotproduct", "--size", "32", "--trace", str(trace_path)])
+    capsys.readouterr()
+    assert main(["--validate", str(trace_path)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_cli_validate_rejects_bad_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.trace.json"
+    bad.write_text(json.dumps({"traceEvents": [{"ph": "X", "name": "k"}]}))
+    assert main(["--validate", str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().out

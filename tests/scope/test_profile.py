@@ -1,0 +1,79 @@
+"""The profiling API: ``skelcl.profile()``, by-skeleton breakdown and
+the critical-path reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+
+
+def _vector(rng, n=1024):
+    return skelcl.Vector(data=rng.rand(n).astype(np.float32))
+
+
+def test_critical_path_total_matches_finish_all(runtime_2gpu, rng):
+    neg = skelcl.Map("float func(float x) { return -x; }")
+    add = skelcl.Zip("float func(float x, float y) { return x + y; }")
+    a, b = _vector(rng), _vector(rng)
+    with skelcl.profile() as prof:
+        add(neg(a), b).to_numpy()
+    path = prof.critical_path()
+    assert path.total_ns == runtime_2gpu.finish_all()
+    assert len(path) > 0
+
+
+def test_by_skeleton_sums_to_critical_path(runtime_2gpu, rng):
+    neg = skelcl.Map("float func(float x) { return -x; }")
+    with skelcl.profile() as prof:
+        neg(_vector(rng), label="negate").to_numpy()
+    breakdown = prof.by_skeleton()
+    assert sum(breakdown.values()) == prof.critical_path().total_ns
+    assert "negate" in breakdown
+
+
+def test_critical_path_steps_telescope(runtime_2gpu, rng):
+    """Consecutive critical-path steps chain: each starts where its
+    predecessor ends (engine occupancy or dependency edge)."""
+    scan = skelcl.Scan("float func(float x, float y) { return x + y; }")
+    with skelcl.profile() as prof:
+        scan(_vector(rng)).to_numpy()
+    steps = prof.critical_path().steps
+    for earlier, later in zip(steps, steps[1:]):
+        assert earlier.end_ns == later.start_ns
+    assert steps[-1].end_ns == prof.critical_path().total_ns
+
+
+def test_profile_against_explicit_session(rng):
+    with skelcl.init(num_devices=2) as session:
+        neg = skelcl.Map("float func(float x) { return -x; }")
+        with session.profile() as prof:
+            neg(_vector(rng))
+        assert prof.critical_path().total_ns == session.finish_all()
+
+
+def test_kernel_ns_by_skeleton_separates_labels(runtime_2gpu, rng):
+    neg = skelcl.Map("float func(float x) { return -x; }")
+    with skelcl.profile() as prof:
+        neg(_vector(rng), label="first")
+        neg(_vector(rng), label="second")
+    by_label = prof.kernel_ns_by_skeleton()
+    assert by_label["first"] > 0
+    assert by_label["second"] > 0
+
+
+def test_report_renders(runtime_2gpu, rng):
+    neg = skelcl.Map("float func(float x) { return -x; }")
+    with skelcl.profile() as prof:
+        neg(_vector(rng), label="reported-pass")
+    report = prof.report()
+    assert "critical path" in report
+    assert "reported-pass" in report
+
+
+def test_profile_without_runtime_raises():
+    skelcl.terminate()
+    with pytest.raises(skelcl.SkelCLError):
+        with skelcl.profile():
+            pass

@@ -1,0 +1,87 @@
+"""The session-scoped public API: ``with skelcl.init(...) as s:``."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+from repro import ocl
+
+
+def test_init_returns_context_manager_session():
+    with skelcl.init(num_devices=2, spec=ocl.TEST_DEVICE) as session:
+        assert isinstance(session, skelcl.Session)
+        assert len(session.devices) == 2
+        assert session is skelcl.get_runtime()
+        neg = skelcl.Map("float func(float x) { return -x; }")
+        result = neg(skelcl.Vector(data=np.ones(64, dtype=np.float32)))
+        assert np.allclose(result.to_numpy(), -1.0)
+        assert session.finish_all() > 0
+        assert session.metrics.value("skelcl_commands_total", kind="ndrange_kernel") > 0
+    # Exiting the block terminated the runtime.
+    assert session.closed
+    assert not skelcl.is_initialized()
+
+
+def test_classic_global_style_still_works():
+    skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE)
+    try:
+        assert skelcl.is_initialized()
+        runtime = skelcl.get_runtime()
+        assert runtime.num_devices == 1
+    finally:
+        skelcl.terminate()
+    assert not skelcl.is_initialized()
+
+
+def test_terminate_is_idempotent():
+    skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE)
+    skelcl.terminate()
+    skelcl.terminate()  # second call: no runtime installed, no error
+    session = skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE)
+    session.close()
+    session.close()  # closing twice is fine too
+    skelcl.terminate()
+    assert not skelcl.is_initialized()
+
+
+def test_replaced_session_does_not_tear_down_successor():
+    first = skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE)
+    second = skelcl.init(num_devices=2, spec=ocl.TEST_DEVICE)
+    try:
+        first.close()  # replaced earlier: must not clear the global
+        assert skelcl.get_runtime() is second
+    finally:
+        skelcl.terminate()
+
+
+def test_session_exit_honours_trace_env_vars(tmp_path, monkeypatch):
+    trace_path = tmp_path / "session.trace.json"
+    metrics_path = tmp_path / "session.metrics.json"
+    monkeypatch.setenv("SKELCL_TRACE", str(trace_path))
+    monkeypatch.setenv("SKELCL_METRICS", str(metrics_path))
+    with skelcl.init(num_devices=2, spec=ocl.TEST_DEVICE):
+        neg = skelcl.Map("float func(float x) { return -x; }")
+        neg(skelcl.Vector(data=np.ones(128, dtype=np.float32)))
+
+    from repro.scope import validate_trace
+
+    trace = json.loads(trace_path.read_text())
+    assert validate_trace(trace) == []
+    snapshot = json.loads(metrics_path.read_text())
+    assert snapshot["counters"]["skelcl_commands_total"]["{kind=ndrange_kernel}"] == 2
+    assert "skelcl_critical_path_ns" in snapshot["gauges"]
+
+
+def test_session_observability_surface(runtime_2gpu, tmp_path, rng):
+    neg = skelcl.Map("float func(float x) { return -x; }")
+    neg(skelcl.Vector(data=rng.rand(256).astype(np.float32)))
+    runtime_2gpu.finish_all()
+    path = runtime_2gpu.export_trace(str(tmp_path / "t.json"))
+    assert json.loads(open(path).read())["otherData"]["producer"] == "SkelScope"
+    assert "GPU0" in runtime_2gpu.render_timeline()
+    snapshot = runtime_2gpu.metrics_snapshot()
+    assert snapshot["gauges"]["skelcl_critical_path_ns"]["_"] > 0

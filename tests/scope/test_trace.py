@@ -1,0 +1,139 @@
+"""Chrome trace export: schema validity on a real two-device workload."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+from repro.apps.sobel import SobelEdgeDetection
+from repro.scope import (
+    assert_valid_trace,
+    chrome_trace,
+    render_timeline,
+    trace_events,
+    validate_trace,
+    write_trace,
+)
+from repro.scope.trace import ENGINE_TIDS
+
+
+@pytest.fixture
+def sobel_trace(runtime_2gpu, rng):
+    """Run the paper's Sobel on two simulated GPUs and trace it."""
+    image = rng.randint(0, 256, size=(64, 64)).astype(np.uint8)
+    SobelEdgeDetection().detect(image)
+    runtime_2gpu.finish_all()
+    return chrome_trace(runtime_2gpu.context), runtime_2gpu
+
+
+def test_two_device_sobel_trace_is_schema_valid(sobel_trace):
+    trace, _runtime = sobel_trace
+    problems = validate_trace(trace)
+    assert problems == []
+    assert_valid_trace(trace)  # must not raise
+
+
+def test_trace_has_one_track_per_engine_per_device(sobel_trace):
+    trace, runtime = sobel_trace
+    events = trace["traceEvents"]
+    thread_names = {
+        (e["pid"], e["tid"]): e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    # Sobel on 2 GPUs uses the compute and transfer engines of both.
+    for device in range(runtime.num_devices):
+        assert thread_names[(device, ENGINE_TIDS["compute"])] == "compute"
+        assert thread_names[(device, ENGINE_TIDS["transfer"])] == "transfer"
+    slices = [e for e in events if e["ph"] == "X"]
+    assert {e["pid"] for e in slices} == {0, 1}
+    assert all(e["tid"] in ENGINE_TIDS.values() for e in slices)
+
+
+def test_trace_timestamps_are_monotonic_per_event(sobel_trace):
+    trace, _runtime = sobel_trace
+    for event in trace["traceEvents"]:
+        if event["ph"] != "X":
+            continue
+        args = event["args"]
+        assert args["queued_ns"] <= args["submitted_ns"]
+        assert args["submitted_ns"] <= args["start_ns"]
+        assert args["start_ns"] <= args["end_ns"]
+        assert event["dur"] >= 0
+
+
+def test_trace_flow_events_bind_to_slices(sobel_trace):
+    """Every dependency edge is an s/f pair whose endpoints exist."""
+    trace, _runtime = sobel_trace
+    events = trace["traceEvents"]
+    starts = {e["id"] for e in events if e["ph"] == "s"}
+    finishes = {e["id"] for e in events if e["ph"] == "f"}
+    assert starts, "a multi-command Sobel run must have dependency edges"
+    assert starts == finishes
+
+
+def test_trace_shows_overlapped_compute_and_transfer(sobel_trace):
+    """The async engine overlaps per-device timelines: with two devices
+    the two compute slices run concurrently (same simulated window)."""
+    trace, _runtime = sobel_trace
+    kernels = [
+        e for e in trace["traceEvents"]
+        if e["ph"] == "X" and e["args"]["command"] == "ndrange_kernel"
+    ]
+    by_device = {}
+    for event in kernels:
+        by_device.setdefault(event["pid"], []).append(event)
+    assert set(by_device) == {0, 1}
+    first0, first1 = by_device[0][0], by_device[1][0]
+    # Same-shaped chunks start together once their uploads complete.
+    overlap_start = max(first0["args"]["start_ns"], first1["args"]["start_ns"])
+    overlap_end = min(first0["args"]["end_ns"], first1["args"]["end_ns"])
+    assert overlap_start < overlap_end
+
+
+def test_write_trace_roundtrip(tmp_path, sobel_trace):
+    _trace, runtime = sobel_trace
+    path = tmp_path / "sobel.trace.json"
+    write_trace(runtime.context, str(path))
+    loaded = json.loads(path.read_text())
+    assert validate_trace(loaded) == []
+    assert len(loaded["otherData"]["devices"]) == runtime.num_devices
+
+
+def test_kernel_slices_carry_skeleton_labels(runtime_2gpu):
+    neg = skelcl.Map("float func(float x) { return -x; }")
+    neg(skelcl.Vector(data=np.ones(256, dtype=np.float32)), label="edge-pass")
+    runtime_2gpu.finish_all()
+    kernels = [
+        e for e in trace_events(runtime_2gpu.context)
+        if e["ph"] == "X" and e["args"]["command"] == "ndrange_kernel"
+    ]
+    assert kernels
+    assert all(e["name"] == "edge-pass" for e in kernels)
+
+
+def test_tracing_adds_zero_commands(runtime_2gpu):
+    """Exporting a trace is passive: it must not enqueue anything."""
+    neg = skelcl.Map("float func(float x) { return -x; }")
+    neg(skelcl.Vector(data=np.ones(256, dtype=np.float32))).to_numpy()
+    runtime_2gpu.finish_all()
+    before = [len(queue.events) for queue in runtime_2gpu.queues]
+    chrome_trace(runtime_2gpu.context)
+    render_timeline(runtime_2gpu.context)
+    runtime_2gpu.context.metrics_snapshot()
+    after = [len(queue.events) for queue in runtime_2gpu.queues]
+    assert after == before
+
+
+def test_invalid_trace_is_rejected():
+    bad = {"traceEvents": [
+        {"ph": "X", "name": "k", "pid": 0, "tid": 0, "ts": 1.0, "dur": -4.0,
+         "args": {"start_ns": 2000, "end_ns": 1000, "queued_ns": 0,
+                  "submitted_ns": 0}},
+    ]}
+    assert validate_trace(bad)
+    with pytest.raises(ValueError):
+        assert_valid_trace(bad)
