@@ -1,0 +1,119 @@
+"""Perf smoke check: the vectorized backend must beat the interpreter.
+
+Times the Fig. 5 Sobel benchmark (``benchmarks/bench_fig5_sobel.py``)
+wall-clock under ``SKELCL_BACKEND=interp`` and ``=vector``, plus an
+in-process timing of the SkelCL Sobel application itself, and asserts
+the vector backend is strictly faster on both measurements.  Timings
+are written as JSON (uploaded as a CI artifact) so regressions leave a
+paper trail, not just a red X.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py \
+        --output benchmarks/results/perf_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_BENCH = os.path.join(_REPO_ROOT, "benchmarks", "bench_fig5_sobel.py")
+
+BACKENDS = ("interp", "vector")
+
+
+def time_bench_suite(backend: str) -> float:
+    """Wall-clock seconds for one pytest run of the Fig. 5 benchmark."""
+    env = dict(os.environ, SKELCL_BACKEND=backend)
+    env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src")
+    start = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q", _BENCH],
+        env=env, cwd=_REPO_ROOT, check=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    return time.perf_counter() - start
+
+
+def time_sobel_app(backend: str, size: int, runs: int) -> float:
+    """Best-of-``runs`` seconds for one in-process SkelCL Sobel pass."""
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+    import repro.skelcl as skelcl
+    from repro import ocl
+    from repro.apps.images import synthetic_image
+    from repro.apps.sobel import SobelEdgeDetection
+
+    image = synthetic_image(size, size)
+    skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE, backend=backend)
+    try:
+        app = SobelEdgeDetection()
+        app.detect(image)  # warm-up: compile + vectorization plan caches
+        best = float("inf")
+        for _ in range(runs):
+            start = time.perf_counter()
+            app.detect(image)
+            best = min(best, time.perf_counter() - start)
+    finally:
+        skelcl.terminate()
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None,
+                        help="write timings JSON to this path")
+    parser.add_argument("--size", type=int, default=256,
+                        help="Sobel image edge length for the app timing")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="timed repetitions for the app timing")
+    args = parser.parse_args()
+
+    results = {"backends": {}, "image_size": args.size, "runs": args.runs}
+    for backend in BACKENDS:
+        suite = time_bench_suite(backend)
+        app = time_sobel_app(backend, args.size, args.runs)
+        results["backends"][backend] = {
+            "bench_fig5_sobel_wallclock_s": round(suite, 3),
+            "sobel_app_best_s": round(app, 4),
+        }
+        print(f"{backend:>6}: bench_fig5_sobel {suite:6.2f}s   "
+              f"sobel app ({args.size}x{args.size}) {app:6.3f}s")
+
+    interp = results["backends"]["interp"]
+    vector = results["backends"]["vector"]
+    results["speedup"] = {
+        "bench_fig5_sobel": round(
+            interp["bench_fig5_sobel_wallclock_s"]
+            / vector["bench_fig5_sobel_wallclock_s"], 2),
+        "sobel_app": round(
+            interp["sobel_app_best_s"] / vector["sobel_app_best_s"], 2),
+    }
+    print(f"speedup: bench {results['speedup']['bench_fig5_sobel']}x, "
+          f"app {results['speedup']['sobel_app']}x")
+
+    if args.output:
+        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+        with open(args.output, "w") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+
+    ok = True
+    if vector["bench_fig5_sobel_wallclock_s"] >= interp["bench_fig5_sobel_wallclock_s"]:
+        print("FAIL: vector backend not faster on bench_fig5_sobel wall-clock")
+        ok = False
+    if vector["sobel_app_best_s"] >= interp["sobel_app_best_s"]:
+        print("FAIL: vector backend not faster on the in-process Sobel app")
+        ok = False
+    if ok:
+        print("OK: vector backend beats interp on both measurements")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,8 +69,11 @@ class Mandelbrot:
     ) -> Vector:
         """Render ``width``×``height`` pixels; returns the uchar Vector.
 
-        ``sample_fraction`` enables sampled execution for timing runs
-        (the result vector is then only partially written).
+        ``sample_fraction`` enables sampled execution for timing runs.
+        The result vector's device buffers are then tainted as partial:
+        reading them back to the host (``to_numpy()``) raises
+        :class:`repro.ocl.SampledBufferRead`, so a sampled render can
+        only be used for its timing events, never its pixels.
         """
         if self.use_index_vector:
             indices = IndexVector(width * height)

@@ -179,6 +179,7 @@ class CompiledKernel:
     uses_barrier: bool
     definition: ast.FunctionDef
     local_decls: List[ast.VarDecl]
+    program: Optional[ast.Program] = None  # owning checked AST (backends)
 
     @property
     def num_params(self) -> int:
@@ -228,6 +229,9 @@ class _FunctionCompiler:
         # temp holding its value.  ``_cse_savings`` accumulates the op
         # cost of elided evaluations so charges can be corrected.
         self._load_cache: Dict[str, str] = {}
+        # Which Index node first produced each cached temp (so backends
+        # replaying the CSE decisions can map elided loads to sources).
+        self._load_origins: Dict[str, int] = {}
         self._cse_savings = 0
         # Const-propagation: mangled name -> compile-time value for
         # const-declared scalars with constant initializers.
@@ -264,21 +268,31 @@ class _FunctionCompiler:
 
     # -- deferred charging (CSE-aware) -------------------------------------
 
-    def begin_charge(self, *nodes) -> Tuple[int, int, int]:
+    def begin_charge(self, *nodes) -> Tuple[int, int, int, tuple]:
         """Emit a charge placeholder; finalized after the statement's
         expressions compile (CSE may have elided some of the cost)."""
         index = len(self.lines)
         self.emit("C.ops += 0")
         cost = sum(self.cost(n) for n in nodes if n is not None)
-        return (index, cost, self._cse_savings)
+        key = tuple(id(n) for n in nodes if n is not None)
+        return (index, cost, self._cse_savings, key)
 
-    def end_charge(self, token: Tuple[int, int, int], extra: int = 0) -> None:
-        index, cost, savings_before = token
+    def end_charge(self, token: Tuple[int, int, int, tuple], extra: int = 0) -> None:
+        index, cost, savings_before, key = token
         final = max(0, cost + extra - (self._cse_savings - savings_before))
+        self.on_charge(key, final)
         if final > 0:
             self.lines[index] = self.lines[index].replace("C.ops += 0", f"C.ops += {final}")
         else:
             self.lines[index] = ""  # zero-cost statement: drop the charge
+
+    def on_charge(self, key: tuple, final: int) -> None:
+        """Hook: the statement identified by ``key`` (ids of its charged
+        AST nodes) costs ``final`` ops.  Overridden by alternative
+        backends (:mod:`.vectorize`) to record the charge schedule."""
+
+    def record_cse(self, expr: ast.Expr, temp: str) -> None:
+        """Hook: the load ``expr`` was elided, reusing ``temp``."""
 
     # -- load-CSE bookkeeping ------------------------------------------------
 
@@ -946,11 +960,11 @@ class _FunctionCompiler:
 
     def compile_assignment(self, expr: ast.Assignment) -> _ExprPart:
         target_type = expr.target.ctype
-        value = self.compile_expr(expr.value)
-        value_code = self._decay_code(value.code, expr.value.ctype)
 
         # Fast path: simple variable target.
         if isinstance(expr.target, ast.Identifier):
+            value = self.compile_expr(expr.value)
+            value_code = self._decay_code(value.code, expr.value.ctype)
             name = self.lookup_name(expr.target.name)
             assert name is not None
             prelude = list(value.prelude)
@@ -964,7 +978,14 @@ class _FunctionCompiler:
             self.invalidate_name(name)
             return _ExprPart(name, prelude)
 
+        # Compile the lvalue before the value so the compile-time order
+        # matches the emitted runtime order (lvalue prelude first).  A
+        # load shared between both sides must pick its CSE source from
+        # whichever side executes first, or the cached temp would be
+        # referenced before its defining line.
         lvalue = self._compile_lvalue(expr.target)
+        value = self.compile_expr(expr.value)
+        value_code = self._decay_code(value.code, expr.value.ctype)
         prelude = lvalue.prelude + value.prelude
         if expr.op == "=":
             stored = self.convert_code(value_code, expr.value.ctype, target_type)
@@ -1152,9 +1173,11 @@ class _FunctionCompiler:
             cached = self._load_cache.get(load_code)
             if cached is not None:
                 self._cse_savings += node_cost(expr)
+                self.record_cse(expr, cached)
                 return _ExprPart(cached)
             temp = self.fresh("ld")
             self._load_cache[load_code] = temp
+            self._load_origins[temp] = id(expr)
             return _ExprPart(temp, [f"{temp} = {load_code}"])
         return _ExprPart(load_code, prelude)
 
@@ -1410,6 +1433,7 @@ class _ProgramCompiler:
                 uses_barrier=bool(getattr(function, "uses_barrier", False)),
                 definition=function,
                 local_decls=collect_local_decls(function),
+                program=self.program,
             )
         return CompiledProgram(self.program, kernels, source_code)
 

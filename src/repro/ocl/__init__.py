@@ -31,9 +31,10 @@ from .errors import (
     InvalidWorkGroupSize,
     OclError,
     OutOfResources,
+    SampledBufferRead,
 )
 from .event import Event, EventStatus, wait_for_events
-from .executor import ExecutionResult, execute_ndrange
+from .executor import BACKENDS, DEFAULT_BACKEND, ExecutionResult, execute_ndrange, resolve_backend
 from .kernel import Kernel
 from .ndrange import NDRange
 from .program import Program, build_cache_size, clear_build_cache
@@ -42,8 +43,10 @@ from .spec import DeviceSpec, TESLA_FERMI_480, TESLA_T10, TEST_DEVICE
 from .timing import kernel_time_ns, peer_transfer_time_ns, transfer_time_ns
 
 __all__ = [
+    "BACKENDS",
     "Buffer",
     "BuildError",
+    "DEFAULT_BACKEND",
     "CommandQueue",
     "Context",
     "Device",
@@ -63,6 +66,7 @@ __all__ = [
     "RaceDetector",
     "RaceError",
     "RaceWarning",
+    "SampledBufferRead",
     "SanitizeMode",
     "TESLA_FERMI_480",
     "TESLA_T10",
@@ -72,6 +76,7 @@ __all__ = [
     "execute_ndrange",
     "kernel_time_ns",
     "peer_transfer_time_ns",
+    "resolve_backend",
     "transfer_time_ns",
     "wait_for_events",
 ]

@@ -35,6 +35,11 @@ class Buffer:
         device.allocate(self.nbytes)
         self._storage = np.zeros(self.nbytes, dtype=np.uint8)
         self._released = False
+        # Sampled-execution taint: set when a sampled kernel launch (or a
+        # kernel reading a tainted buffer) wrote this buffer, making its
+        # contents partial.  The queue refuses to read tainted buffers
+        # back to the host; a full host write clears the taint.
+        self.sampled = False
 
     def release(self) -> None:
         if not self._released:

@@ -16,13 +16,22 @@ from .spec import DeviceSpec
 
 class Context:
     def __init__(self, devices: Union[Platform, Sequence[Device]],
-                 detect_races=None):
+                 detect_races=None, backend: Optional[str] = None):
         """``detect_races`` arms the SkelSan race detector on every queue
         of this context: ``"report"`` warns on unordered conflicting
         commands, ``"strict"`` raises :class:`repro.analysis.RaceError`
         at the racy enqueue.  ``None`` (the default) defers to the
         ``SKELCL_SANITIZE`` environment variable, so existing code is
-        checked transparently when the switch is set."""
+        checked transparently when the switch is set.
+
+        ``backend`` selects the NDRange execution backend for every
+        queue: ``"vector"`` (lockstep numpy) or ``"interp"`` (per
+        work-item).  ``None`` defers to ``SKELCL_BACKEND``, then to the
+        default (``"vector"``).  Both backends are bit-exact and
+        counter-exact for conforming kernels."""
+        from .executor import resolve_backend
+
+        self.backend = resolve_backend(backend)
         if isinstance(devices, Platform):
             self.devices: List[Device] = list(devices.devices)
         else:
@@ -37,6 +46,7 @@ class Context:
         self.metrics = MetricsRegistry()
         for queue in self.queues:
             queue._metrics = self.metrics
+            queue._backend = self.backend
         mode = resolve_sanitize_mode(detect_races)
         self.race_detector: Optional[RaceDetector] = None
         if mode is not SanitizeMode.OFF:
@@ -48,8 +58,9 @@ class Context:
 
     @staticmethod
     def create(spec: DeviceSpec, num_devices: int = 1,
-               detect_races=None) -> "Context":
-        return Context(Platform(spec, num_devices), detect_races=detect_races)
+               detect_races=None, backend: Optional[str] = None) -> "Context":
+        return Context(Platform(spec, num_devices), detect_races=detect_races,
+                       backend=backend)
 
     @property
     def num_devices(self) -> int:

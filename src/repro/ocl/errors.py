@@ -29,3 +29,11 @@ class OutOfResources(OclError):
 
 class InvalidValue(OclError):
     pass
+
+
+class SampledBufferRead(OclError):
+    """A host read-back of a buffer whose contents came from *sampled*
+    kernel execution.  Sampling runs only a subset of work-groups (for
+    timing), leaving outputs partially written — such buffers must never
+    feed correctness paths, so reading them back is an error until they
+    are fully rewritten."""

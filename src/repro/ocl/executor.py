@@ -1,26 +1,59 @@
 """NDRange execution on a simulated device.
 
-Runs every work-group of an NDRange through a compiled kernel.  Kernels
-that use ``barrier()`` are Python generators: all work-items of a group
-are driven phase-by-phase, with divergence detection (every item of a
-group must reach the same number of barriers, as OpenCL requires).
+Two backends execute an NDRange:
+
+``vector`` (the default)
+    The lockstep numpy backend (:mod:`repro.kernelc.vectorize`): every
+    selected work-item advances through the kernel simultaneously under
+    active-lane masks.  Kernels using constructs with no lockstep
+    lowering fall back transparently to the per-item backend.
+
+``interp``
+    The original per-item path: every work-item runs the compiled
+    kernel function to completion (or, for ``barrier()`` kernels,
+    phase-by-phase as a Python generator with divergence detection).
+
+Both backends produce bit-identical buffers and identical
+``ExecutionCounters``; ``tests/kernelc/test_vectorize_differential.py``
+enforces this.  Select with the ``backend=`` argument (plumbed through
+``Context``) or the ``SKELCL_BACKEND`` environment variable.
 
 For very large NDRanges the executor supports *sampled* execution: a
 deterministic, evenly spread subset of work-groups is executed and the
 cost statistics are scaled up by the sampling factor.  Outputs are then
-only partially written, so sampling is reserved for timing runs.
+only partially written, so sampling is reserved for timing runs; the
+queue layer quarantines sampled buffers (see ``ocl.buffer``) so their
+contents can never be read back as results.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..kernelc import vectorize
 from ..kernelc.compiler import CompiledKernel
 from ..kernelc.execmodel import ExecutionCounters, WorkItemContext
 from ..kernelc.interp import allocate_local_memory
 from ..kernelc.memory import KernelFault
+from .errors import InvalidValue
 from .ndrange import NDRange
+
+BACKENDS = ("vector", "interp")
+DEFAULT_BACKEND = "vector"
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Normalize a backend selection (None defers to ``SKELCL_BACKEND``,
+    then to the default)."""
+    if backend is None:
+        backend = os.environ.get("SKELCL_BACKEND") or DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        raise InvalidValue(
+            f"unknown execution backend {backend!r} (choose from {', '.join(BACKENDS)})"
+        )
+    return backend
 
 # SIMD width used for divergence accounting (NVIDIA warp).
 WARP_SIZE = 32
@@ -56,6 +89,7 @@ def execute_ndrange(
     args: Sequence,
     sample_fraction: Optional[float] = None,
     counters: Optional[ExecutionCounters] = None,
+    backend: Optional[str] = None,
 ) -> ExecutionResult:
     """Execute ``kernel`` over ``ndrange``; returns scaled cost counters.
 
@@ -65,6 +99,7 @@ def execute_ndrange(
     """
     if counters is None:
         counters = ExecutionCounters()
+    backend = resolve_backend(backend)
     groups = list(ndrange.group_ids())
     if sample_fraction is not None and 0 < sample_fraction < 1:
         selected = select_sample_groups(groups, sample_fraction)
@@ -72,6 +107,16 @@ def execute_ndrange(
         selected = groups
 
     local_ids = list(ndrange.local_ids())
+
+    if backend == "vector":
+        plan = vectorize.plan_for(kernel)
+        if plan is not None:
+            vectorize.execute(kernel, plan, ndrange, selected, local_ids, args, counters)
+            if len(selected) < len(groups):
+                counters = counters.scaled(len(groups) / len(selected))
+            return ExecutionResult(counters, len(groups), len(selected))
+        # Unsupported construct: fall through to the per-item path.
+
     local_size = ndrange.local_size
     global_size = ndrange.global_size
     func = kernel.func

@@ -40,7 +40,7 @@ from ..analysis.access import BufferAccess, kernel_buffer_accesses
 from ..kernelc.execmodel import ExecutionCounters
 from .buffer import Buffer
 from .device import Device
-from .errors import InvalidValue
+from .errors import InvalidValue, SampledBufferRead
 from .event import (
     COMPUTE_ENGINE,
     ENGINE_OF_COMMAND,
@@ -89,6 +89,9 @@ class CommandQueue:
         self._horizon = 0  # latest resolved end_ns on this queue
         # Race detector attached by the owning Context (may stay None).
         self._sanitizer = None
+        # Execution backend attached by the owning Context; None defers
+        # to SKELCL_BACKEND / the executor default at launch time.
+        self._backend: Optional[str] = None
         # SkelScope metrics registry attached by the owning Context
         # (may stay None for bare queues built in tests).
         self._metrics = None
@@ -227,7 +230,8 @@ class CommandQueue:
         # `counters.memory`, and the executor charges ops to the same
         # object, so sampling scales both consistently.
         args = kernel.marshal_args(counters, self.device)
-        result = execute_ndrange(kernel.compiled, ndrange, args, sample_fraction, counters)
+        result = execute_ndrange(kernel.compiled, ndrange, args, sample_fraction, counters,
+                                 backend=self._backend)
         duration = kernel_time_ns(
             self.device.spec,
             result.counters,
@@ -248,6 +252,19 @@ class CommandQueue:
             groups_executed=result.groups_executed,
         )
         event.accesses = kernel_buffer_accesses(kernel)
+        # Sampled-execution taint: a sampled launch leaves its outputs
+        # partially written, and a kernel consuming tainted data spreads
+        # the taint to everything it writes.
+        buffers = {arg.uid: arg for arg in kernel._args if isinstance(arg, Buffer)}
+        reads_tainted = any(
+            buffers[access.buffer_uid].sampled
+            for access in event.accesses
+            if access.reads and access.buffer_uid in buffers
+        )
+        if result.sampled or reads_tainted:
+            for access in event.accesses:
+                if access.writes and access.buffer_uid in buffers:
+                    buffers[access.buffer_uid].sampled = True
         self._submit(event, duration, event_wait_list)
         self.total_kernel_ns += duration
         if self._metrics is not None:
@@ -264,6 +281,8 @@ class CommandQueue:
         if buffer.device is not self.device:
             raise InvalidValue("buffer belongs to a different device than this queue")
         nbytes = buffer.write_from_host(data, offset_bytes)
+        if offset_bytes == 0 and nbytes >= buffer.nbytes:
+            buffer.sampled = False  # fully rewritten: contents whole again
         duration = transfer_time_ns(self.device.spec, nbytes)
         event = Event("write_buffer", buffer.name or "buffer", info={"bytes": nbytes})
         event.accesses = [BufferAccess.write(buffer, offset_bytes, nbytes)]
@@ -288,6 +307,10 @@ class CommandQueue:
             raise InvalidValue("copy_buffer requires both buffers on this queue's device")
         data = src.read_to_host(np.uint8, nbytes, src_offset_bytes)
         dst.write_from_host(data, dst_offset_bytes)
+        if src.sampled:
+            dst.sampled = True
+        elif dst_offset_bytes == 0 and nbytes >= dst.nbytes:
+            dst.sampled = False  # fully overwritten with whole data
         duration = int(
             2 * nbytes / self.device.spec.global_bandwidth_gbs + 1000  # +1us overhead
         )
@@ -308,6 +331,12 @@ class CommandQueue:
         """Read back data; returns ``(array, event)``."""
         if buffer.device is not self.device:
             raise InvalidValue("buffer belongs to a different device than this queue")
+        if buffer.sampled:
+            raise SampledBufferRead(
+                f"buffer {buffer.name or buffer.uid!r} holds partial results from "
+                "sampled kernel execution; sampled runs are timing-only and must "
+                "not be read back as data"
+            )
         data = buffer.read_to_host(dtype, count, offset_bytes)
         duration = transfer_time_ns(self.device.spec, data.nbytes)
         event = Event("read_buffer", buffer.name or "buffer", info={"bytes": data.nbytes})

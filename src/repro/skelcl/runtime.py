@@ -34,10 +34,17 @@ class SkelCLError(Exception):
 
 
 class SkelCLRuntime:
-    def __init__(self, spec: ocl.DeviceSpec, num_devices: int, detect_races=None):
+    def __init__(self, spec: ocl.DeviceSpec, num_devices: int, detect_races=None,
+                 backend=None):
         self.spec = spec
         self.num_devices = num_devices
-        self.context = ocl.Context.create(spec, num_devices, detect_races=detect_races)
+        self.context = ocl.Context.create(spec, num_devices, detect_races=detect_races,
+                                          backend=backend)
+
+    @property
+    def backend(self) -> str:
+        """The NDRange execution backend every queue of this runtime uses."""
+        return self.context.backend
 
     @property
     def devices(self) -> List[ocl.Device]:
@@ -73,8 +80,9 @@ class Session(SkelCLRuntime):
     calling :meth:`close`) terminates the runtime; both are idempotent.
     """
 
-    def __init__(self, spec: ocl.DeviceSpec, num_devices: int, detect_races=None):
-        super().__init__(spec, num_devices, detect_races=detect_races)
+    def __init__(self, spec: ocl.DeviceSpec, num_devices: int, detect_races=None,
+                 backend=None):
+        super().__init__(spec, num_devices, detect_races=detect_races, backend=backend)
         self._closed = False
 
     # -- observability -----------------------------------------------------
@@ -148,7 +156,7 @@ def _dump_observability(session: Session) -> None:
 
 
 def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None,
-         detect_races=None) -> Session:
+         detect_races=None, backend: Optional[str] = None) -> Session:
     """Initialize SkelCL on ``num_devices`` simulated GPUs.
 
     Mirrors ``SkelCL::init()``; must be called before creating containers
@@ -160,10 +168,14 @@ def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None,
     every queue (see :mod:`repro.analysis`): ``"report"`` warns,
     ``"strict"`` raises :class:`repro.analysis.RaceError`; ``None``
     defers to the ``SKELCL_SANITIZE`` environment variable.
+
+    ``backend`` selects the NDRange execution backend (``"vector"`` or
+    ``"interp"``); ``None`` defers to ``SKELCL_BACKEND``, then to the
+    vectorized default.
     """
     global _runtime
     _runtime = Session(spec if spec is not None else ocl.TESLA_T10, num_devices,
-                       detect_races=detect_races)
+                       detect_races=detect_races, backend=backend)
     return _runtime
 
 

@@ -174,3 +174,42 @@ class TestGaussian:
         noisy = rng.randint(0, 255, (32, 32)).astype(np.uint8)
         blurred = GaussianBlur().blur(noisy)
         assert blurred.astype(float).std() < noisy.astype(float).std()
+
+
+class TestBackendsAgreeOnApps:
+    """Result correctness on both execution backends (satellite of the
+    vectorized-backend PR): each app must produce the right answer under
+    interp and vector, and the two backends must agree bit-for-bit."""
+
+    def test_gaussian_correct_on_both_backends(self, runtime_backend, rng):
+        image = synthetic_image(32, 48)
+        blurred = GaussianBlur().blur(image)
+        np.testing.assert_array_equal(blurred, gaussian_reference(image))
+
+    def test_manhattan_correct_on_both_backends(self, runtime_backend, rng):
+        a = rng.rand(9, 6).astype(np.float32)
+        b = rng.rand(5, 6).astype(np.float32)
+        result = ManhattanDistance().compute(a, b)
+        expected = np.abs(a[:, None, :] - b[None, :, :]).sum(axis=2)
+        np.testing.assert_allclose(result, expected, rtol=1e-4)
+        np.testing.assert_allclose(np.diag(ManhattanDistance().compute(a, a)), 0.0,
+                                   atol=1e-6)
+
+    def test_gaussian_bitexact_across_backends(self, rng):
+        image = synthetic_image(32, 32)
+        outputs = []
+        for backend in ("interp", "vector"):
+            skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE, backend=backend)
+            outputs.append(GaussianBlur().blur(image))
+            skelcl.terminate()
+        np.testing.assert_array_equal(outputs[0], outputs[1])
+
+    def test_manhattan_bitexact_across_backends(self, rng):
+        a = rng.rand(8, 4).astype(np.float32)
+        b = rng.rand(6, 4).astype(np.float32)
+        outputs = []
+        for backend in ("interp", "vector"):
+            skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE, backend=backend)
+            outputs.append(ManhattanDistance().compute(a, b))
+            skelcl.terminate()
+        assert outputs[0].tobytes() == outputs[1].tobytes()

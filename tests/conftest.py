@@ -35,6 +35,15 @@ def runtime_4gpu():
     skelcl.terminate()
 
 
+@pytest.fixture(params=["interp", "vector"])
+def runtime_backend(request):
+    """One-device runtime parametrized over both execution backends."""
+    runtime = skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE,
+                          backend=request.param)
+    yield runtime
+    skelcl.terminate()
+
+
 @pytest.fixture(params=[1, 2, 3, 4])
 def runtime_multi(request):
     """Parametrized over 1-4 simulated GPUs."""

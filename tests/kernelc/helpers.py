@@ -103,6 +103,21 @@ def run_kernel(
             else:
                 for ctx in contexts:
                     compiled.func(counters, ctx, lmem, *runtime_args)
+    elif backend == "vector":
+        from repro.kernelc import vectorize
+        from repro.ocl.ndrange import NDRange
+
+        compiled = compile_program(program).kernel(kernel_name)
+        plan = vectorize.plan_for(compiled)
+        if plan is None:
+            raise ValueError(
+                f"kernel {kernel_name!r} is not vectorizable: "
+                f"{vectorize.reject_reason(compiled)}"
+            )
+        ndrange = NDRange.create(tuple(global_size), tuple(local_size))
+        groups = list(ndrange.group_ids())
+        vectorize.execute(compiled, plan, ndrange, groups,
+                          list(ndrange.local_ids()), runtime_args, counters)
     elif backend == "interp":
         machine = Machine(program, counters)
         for group, contexts in _contexts(tuple(global_size), tuple(local_size)):

@@ -249,3 +249,147 @@ class TestBarrierPrograms:
         np.testing.assert_array_equal(c_res["out"], i_res["out"])
         np.testing.assert_array_equal(c_res["out"], np.cumsum(values))
         assert c_cnt.barriers == i_cnt.barriers
+
+
+# -- three-way agreement: compiler, interpreter, and vectorizer ---------------
+#
+# ``run_kernel``'s "compiler" and "interp" paths drive work-items
+# directly (no executor warp loop), so warp_ops is compared end-to-end
+# in test_vectorize_differential.py instead; here the three backends
+# must agree on buffers, scalar ops, barriers, and memory traffic.
+
+_ALL_BACKENDS = ("compiler", "interp", "vector")
+
+
+def run_three(source, kernel_name, arrays, args, global_size, local_size=None):
+    """Run all three backends on fresh copies; returns {backend: (bufs, cnt)}."""
+    return {
+        backend: run_kernel(
+            source, kernel_name, {k: v.copy() for k, v in arrays.items()},
+            args, global_size, local_size, backend=backend,
+        )
+        for backend in _ALL_BACKENDS
+    }
+
+
+def assert_three_way(source, kernel_name, arrays, args, global_size, local_size=None):
+    """Three-way agreement with the two distinct contracts.
+
+    vector ↔ compiler: bit-exact buffers and equal ops/barriers/memory
+    (the vectorizer replays the compiler's charges and its relaxed
+    double-precision float evaluation exactly).
+
+    interp ↔ compiler: the looser pre-existing contract — the
+    interpreter evaluates float32 strictly per-op (so float buffers
+    compare with tolerance) and charges ops dynamically (so only
+    memory traffic and barriers must match, not ops).
+    """
+    results = run_three(source, kernel_name, arrays, args, global_size, local_size)
+    ref_bufs, ref_cnt = results["compiler"]
+
+    v_bufs, v_cnt = results["vector"]
+    for name in arrays:
+        assert v_bufs[name].tobytes() == ref_bufs[name].tobytes(), (
+            f"vector buffer {name!r} differs from compiler:\n"
+            f"compiler: {ref_bufs[name]!r}\nvector: {v_bufs[name]!r}"
+        )
+    assert v_cnt.ops == ref_cnt.ops, f"vector ops {v_cnt.ops} != {ref_cnt.ops}"
+    assert v_cnt.barriers == ref_cnt.barriers
+    assert v_cnt.memory == ref_cnt.memory, (
+        f"vector memory {v_cnt.memory} != {ref_cnt.memory}"
+    )
+
+    i_bufs, i_cnt = results["interp"]
+    for name in arrays:
+        if np.issubdtype(ref_bufs[name].dtype, np.floating):
+            np.testing.assert_allclose(i_bufs[name], ref_bufs[name],
+                                       rtol=1e-5, atol=1e-6)
+        else:
+            assert i_bufs[name].tobytes() == ref_bufs[name].tobytes(), (
+                f"interp buffer {name!r} differs from compiler:\n"
+                f"compiler: {ref_bufs[name]!r}\ninterp: {i_bufs[name]!r}"
+            )
+    assert i_cnt.barriers == ref_cnt.barriers
+    assert i_cnt.memory == ref_cnt.memory, (
+        f"interp memory {i_cnt.memory} != {ref_cnt.memory}"
+    )
+    return ref_bufs
+
+
+_THREEWAY_DTYPES = st.sampled_from([
+    ("char", np.int8), ("uchar", np.uint8), ("short", np.int16),
+    ("ushort", np.uint16), ("int", np.int32), ("uint", np.uint32),
+    ("long", np.int64), ("ulong", np.uint64),
+    ("float", np.float32), ("double", np.float64),
+])
+
+
+class TestThreeWayDtypes:
+    @given(dtype=_THREEWAY_DTYPES, seed=st.integers(0, 2**31 - 1),
+           scale=st.integers(1, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_elementwise_over_every_dtype(self, dtype, seed, scale):
+        cname, np_dtype = dtype
+        rng = np.random.RandomState(seed)
+        n = 16
+        if np.issubdtype(np_dtype, np.floating):
+            data = rng.uniform(-8, 8, size=n).astype(np_dtype)
+            expr = f"x * ({scale}.0f / 2.0f) + y"
+        else:
+            data = rng.randint(0, 40, size=n).astype(np_dtype)
+            expr = f"x * {scale} + (y >> 1)"
+        src = f"""__kernel void k(__global {cname}* out,
+                                  __global const {cname}* in, int n) {{
+            int gid = get_global_id(0);
+            {cname} x = in[gid];
+            {cname} y = in[(gid + 3) % n];
+            out[gid] = ({cname})({expr});
+        }}"""
+        arrays = {"out": np.zeros(n, np_dtype), "in": data}
+        assert_three_way(src, "k", arrays, ["out", "in", n], n, 8)
+
+
+class TestThreeWayControlFlow:
+    @given(expr=int_expr(2), cond=st.sampled_from(
+               ["x > y", "gid % 2 == 0", "x < 0", "(x ^ y) > 5"]),
+           bound=st.integers(1, 5), x=st.integers(-20, 20),
+           y=st.integers(-20, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_divergent_branch_and_loop(self, expr, cond, bound, x, y):
+        src = f"""__kernel void k(__global long* out, int x, int y) {{
+            int gid = get_global_id(0);
+            long acc = x + gid;
+            if ({cond}) {{
+                for (int i = 0; i < {bound}; ++i) {{ acc += (long)({expr}) + i; }}
+            }} else {{
+                acc = acc * 3 - y;
+            }}
+            out[gid] = acc;
+        }}"""
+        arrays = {"out": np.zeros(8, np.int64)}
+        assert_three_way(src, "k", arrays, ["out", x, y], 8, 4)
+
+
+class TestThreeWayLocalMemory:
+    @given(values=st.lists(st.integers(-30, 30), min_size=16, max_size=16),
+           rot=st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_rotated_tile_exchange(self, values, rot):
+        src = f"""__kernel void k(__global const int* in, __global int* out) {{
+            __local int tile[8];
+            int lid = get_local_id(0);
+            int gid = get_global_id(0);
+            tile[lid] = in[gid] * 2;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            int partner = (lid + {rot}) % 8;
+            out[gid] = tile[partner] - in[gid];
+        }}"""
+        arrays = {"in": np.array(values, np.int32), "out": np.zeros(16, np.int32)}
+        bufs = assert_three_way(src, "k", arrays, ["in", "out"], 16, 8)
+        a = np.array(values, np.int32)
+        expected = np.empty(16, np.int32)
+        for g in range(2):
+            for lid in range(8):
+                gid = g * 8 + lid
+                expected[gid] = a[g * 8 + (lid + rot) % 8] * 2 - a[gid]
+        np.testing.assert_array_equal(bufs["out"], expected)
