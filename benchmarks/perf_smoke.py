@@ -1,16 +1,27 @@
-"""Perf smoke check: the vectorized backend must beat the interpreter.
+"""Perf smoke check and tracked benchmark trajectory.
 
-Times the Fig. 5 Sobel benchmark (``benchmarks/bench_fig5_sobel.py``)
-wall-clock under ``SKELCL_BACKEND=interp`` and ``=vector``, plus an
-in-process timing of the SkelCL Sobel application itself, and asserts
-the vector backend is strictly faster on both measurements.  Timings
-are written as JSON (uploaded as a CI artifact) so regressions leave a
-paper trail, not just a red X.
+Two jobs in one script:
+
+1. **Backend smoke** (``--only fig5`` or ``all``): times the Fig. 5
+   Sobel benchmark (``benchmarks/bench_fig5_sobel.py``) wall-clock under
+   ``SKELCL_BACKEND=interp`` and ``=vector``, plus an in-process timing
+   of the SkelCL Sobel application, and asserts the vector backend is
+   strictly faster on both measurements.
+2. **Fusion gate** (``--only fusion`` or ``all``): runs producer/consumer
+   pipelines eagerly and under the lazy planner and asserts the fused
+   schedules are bit-exact while launching fewer kernels and moving
+   strictly less modeled global memory.
+
+Each job writes its measurements — wall-clock, modeled time from the
+timing model, and ExecutionCounters totals — to a ``BENCH_*.json`` file
+at the repo root (``BENCH_fig5.json`` / ``BENCH_fusion.json``), so every
+PR's perf deltas are recorded in-tree, not anecdotal.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py \
         --output benchmarks/results/perf_smoke.json
+    PYTHONPATH=src python benchmarks/perf_smoke.py --only fusion
 """
 
 from __future__ import annotations
@@ -27,6 +38,39 @@ _BENCH = os.path.join(_REPO_ROOT, "benchmarks", "bench_fig5_sobel.py")
 
 BACKENDS = ("interp", "vector")
 
+SCALE = "float func(float x) { return x * 2.0f; }"
+SHIFT = "float func(float x) { return x + 3.0f; }"
+ADD = "float func(float x, float y) { return x + y; }"
+MUL = "float func(float x, float y) { return x * y; }"
+
+
+def _import_repro():
+    src = os.path.join(_REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    import repro.skelcl as skelcl
+    from repro import ocl
+    return skelcl, ocl
+
+
+def _session_counters(runtime):
+    """ExecutionCounters totals for everything this session ran."""
+    metrics = runtime.metrics
+    return {
+        "kernel_launches": metrics.value("skelcl_commands_total", kind="ndrange_kernel"),
+        "kernel_ops": metrics.value("skelcl_kernel_ops_total"),
+        "global_memory_bytes": sum(
+            event.info.get("global_bytes", 0)
+            for queue in runtime.context.queues
+            for event in queue.events
+            if event.command_type == "ndrange_kernel"
+        ),
+        "transfer_bytes": sum(q.total_transfer_bytes for q in runtime.context.queues),
+    }
+
+
+# -- Fig. 5 Sobel: interp vs vector backend ------------------------------
+
 
 def time_bench_suite(backend: str) -> float:
     """Wall-clock seconds for one pytest run of the Fig. 5 benchmark."""
@@ -41,19 +85,23 @@ def time_bench_suite(backend: str) -> float:
     return time.perf_counter() - start
 
 
-def time_sobel_app(backend: str, size: int, runs: int) -> float:
-    """Best-of-``runs`` seconds for one in-process SkelCL Sobel pass."""
-    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
-    import repro.skelcl as skelcl
-    from repro import ocl
+def run_sobel_app(backend: str, size: int, runs: int) -> dict:
+    """One-pass modeled time + counters and best-of-``runs`` wall-clock
+    for the in-process SkelCL Sobel application."""
+    skelcl, ocl = _import_repro()
     from repro.apps.images import synthetic_image
     from repro.apps.sobel import SobelEdgeDetection
 
     image = synthetic_image(size, size)
-    skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE, backend=backend)
+    runtime = skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE, backend=backend)
     try:
         app = SobelEdgeDetection()
         app.detect(image)  # warm-up: compile + vectorization plan caches
+        runtime.finish_all()
+        runtime.context.reset_timelines()
+        app.detect(image)  # the measured pass
+        modeled_ns = runtime.finish_all()
+        counters = _session_counters(runtime)
         best = float("inf")
         for _ in range(runs):
             start = time.perf_counter()
@@ -61,29 +109,23 @@ def time_sobel_app(backend: str, size: int, runs: int) -> float:
             best = min(best, time.perf_counter() - start)
     finally:
         skelcl.terminate()
-    return best
+    return {
+        "sobel_app_best_s": round(best, 4),
+        "modeled_ns": modeled_ns,
+        "counters": counters,
+    }
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default=None,
-                        help="write timings JSON to this path")
-    parser.add_argument("--size", type=int, default=256,
-                        help="Sobel image edge length for the app timing")
-    parser.add_argument("--runs", type=int, default=3,
-                        help="timed repetitions for the app timing")
-    args = parser.parse_args()
-
-    results = {"backends": {}, "image_size": args.size, "runs": args.runs}
+def bench_fig5(args, results: dict) -> bool:
     for backend in BACKENDS:
         suite = time_bench_suite(backend)
-        app = time_sobel_app(backend, args.size, args.runs)
-        results["backends"][backend] = {
-            "bench_fig5_sobel_wallclock_s": round(suite, 3),
-            "sobel_app_best_s": round(app, 4),
-        }
+        app = run_sobel_app(backend, args.size, args.runs)
+        results["backends"][backend] = dict(
+            app, bench_fig5_sobel_wallclock_s=round(suite, 3))
         print(f"{backend:>6}: bench_fig5_sobel {suite:6.2f}s   "
-              f"sobel app ({args.size}x{args.size}) {app:6.3f}s")
+              f"sobel app ({args.size}x{args.size}) "
+              f"{app['sobel_app_best_s']:6.3f}s   "
+              f"modeled {app['modeled_ns']/1e6:8.3f}ms")
 
     interp = results["backends"]["interp"]
     vector = results["backends"]["vector"]
@@ -97,12 +139,6 @@ def main() -> int:
     print(f"speedup: bench {results['speedup']['bench_fig5_sobel']}x, "
           f"app {results['speedup']['sobel_app']}x")
 
-    if args.output:
-        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
-        with open(args.output, "w") as fh:
-            json.dump(results, fh, indent=2)
-            fh.write("\n")
-
     ok = True
     if vector["bench_fig5_sobel_wallclock_s"] >= interp["bench_fig5_sobel_wallclock_s"]:
         print("FAIL: vector backend not faster on bench_fig5_sobel wall-clock")
@@ -110,8 +146,149 @@ def main() -> int:
     if vector["sobel_app_best_s"] >= interp["sobel_app_best_s"]:
         print("FAIL: vector backend not faster on the in-process Sobel app")
         ok = False
+    return ok
+
+
+# -- Fusion: eager vs lazy planner ---------------------------------------
+
+
+def _pipeline_map_map_reduce(skelcl, data):
+    scale, shift = skelcl.Map(SCALE), skelcl.Map(SHIFT)
+    total = skelcl.Reduce(ADD)
+    return float(total(shift(scale(skelcl.Vector(data=data)))).get_value())
+
+
+def _pipeline_zip_map_reduce(skelcl, data):
+    # The motivating Fig. 5-style composition: reduce(zip(map(a), map(b))).
+    scale, shift = skelcl.Map(SCALE), skelcl.Map(SHIFT)
+    mul, total = skelcl.Zip(MUL), skelcl.Reduce(ADD)
+    a = skelcl.Vector(data=data)
+    b = skelcl.Vector(data=data[::-1].copy())
+    return float(total(mul(scale(a), shift(b))).get_value())
+
+
+FUSION_PIPELINES = {
+    "map_map_reduce": _pipeline_map_map_reduce,
+    "zip_map_reduce": _pipeline_zip_map_reduce,
+}
+
+
+def run_fusion_case(pipeline, elements: int, lazy: bool) -> dict:
+    import numpy as np
+
+    skelcl, ocl = _import_repro()
+    data = np.random.RandomState(11).rand(elements).astype(np.float32)
+    runtime = skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE, lazy=lazy)
+    try:
+        start = time.perf_counter()
+        value = pipeline(skelcl, data)
+        modeled_ns = runtime.finish_all()
+        wallclock = time.perf_counter() - start
+        counters = _session_counters(runtime)
+        fused = runtime.metrics.value  # registry survives terminate
+        fusions = sum(
+            fused("skelcl_fusion_total", rule=rule)
+            for rule in ("map_map", "zip_map", "map_reduce")
+        )
+    finally:
+        skelcl.terminate()
+    return {
+        "result": value,
+        "wallclock_s": round(wallclock, 4),
+        "modeled_ns": modeled_ns,
+        "counters": counters,
+        "fusions": fusions,
+    }
+
+
+def bench_fusion(args, results: dict) -> bool:
+    ok = True
+    for name, pipeline in FUSION_PIPELINES.items():
+        eager = run_fusion_case(pipeline, args.elements, lazy=False)
+        lazy = run_fusion_case(pipeline, args.elements, lazy=True)
+        bit_exact = eager["result"] == lazy["result"]
+        entry = {
+            "eager": eager,
+            "lazy": lazy,
+            "bit_exact": bit_exact,
+            "deltas": {
+                key: eager["counters"][key] - lazy["counters"][key]
+                for key in eager["counters"]
+            },
+        }
+        results["pipelines"][name] = entry
+        e, l = eager["counters"], lazy["counters"]
+        print(f"{name}: launches {e['kernel_launches']} -> {l['kernel_launches']}, "
+              f"ops {e['kernel_ops']} -> {l['kernel_ops']}, "
+              f"global bytes {e['global_memory_bytes']} -> {l['global_memory_bytes']}, "
+              f"modeled {eager['modeled_ns']/1e3:.1f}us -> {lazy['modeled_ns']/1e3:.1f}us"
+              f"{'' if bit_exact else '   MISMATCH'}")
+        if not bit_exact:
+            print(f"FAIL: {name} fused result differs from eager")
+            ok = False
+        if l["kernel_launches"] >= e["kernel_launches"]:
+            print(f"FAIL: {name} fused schedule does not launch fewer kernels")
+            ok = False
+        if l["global_memory_bytes"] >= e["global_memory_bytes"]:
+            print(f"FAIL: {name} fused schedule does not reduce modeled "
+                  "global-memory traffic")
+            ok = False
+        if lazy["fusions"] < 1:
+            print(f"FAIL: {name} recorded no fusions under the lazy planner")
+            ok = False
+    acceptance = results["pipelines"]["map_map_reduce"]["lazy"]["counters"]
+    if acceptance["kernel_launches"] > 2:
+        print("FAIL: map-map-reduce needs more than 2 launches on one device")
+        ok = False
     if ok:
-        print("OK: vector backend beats interp on both measurements")
+        print("OK: fused pipelines are bit-exact and strictly cheaper")
+    return ok
+
+
+# -- entry point ---------------------------------------------------------
+
+
+def _write_json(path: str, payload: dict) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.relpath(path, _REPO_ROOT)}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None,
+                        help="also write the fig5 timings JSON to this path")
+    parser.add_argument("--only", choices=("all", "fig5", "fusion"), default="all",
+                        help="which benchmark group to run")
+    parser.add_argument("--size", type=int, default=256,
+                        help="Sobel image edge length for the app timing")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="timed repetitions for the app timing")
+    parser.add_argument("--elements", type=int, default=1 << 15,
+                        help="vector length for the fusion pipelines")
+    parser.add_argument("--bench-dir", default=_REPO_ROOT,
+                        help="directory for the tracked BENCH_*.json files")
+    args = parser.parse_args()
+
+    ok = True
+    if args.only in ("all", "fig5"):
+        results = {"schema": "skelcl-bench-v1", "benchmark": "fig5_sobel",
+                   "image_size": args.size, "runs": args.runs, "backends": {}}
+        ok = bench_fig5(args, results) and ok
+        _write_json(os.path.join(args.bench_dir, "BENCH_fig5.json"), results)
+        if args.output:
+            _write_json(args.output, results)
+
+    if args.only in ("all", "fusion"):
+        results = {"schema": "skelcl-bench-v1", "benchmark": "fusion",
+                   "elements": args.elements, "pipelines": {}}
+        ok = bench_fusion(args, results) and ok
+        _write_json(os.path.join(args.bench_dir, "BENCH_fusion.json"), results)
+
     return 0 if ok else 1
 
 

@@ -1536,6 +1536,10 @@ def _runtime_namespace() -> Dict[str, object]:
         "_ptr_eq": _ptr_eq,
         "_KernelFault": KernelFault,
         "_NULLPTR": _NULLPTR,
+        # Folded float constants are emitted via repr(), which renders
+        # non-finite values as the bare names inf/nan.
+        "inf": float("inf"),
+        "nan": float("nan"),
     }
 
 

@@ -17,6 +17,29 @@ from .source import SourceFile
 from .typecheck import TypeChecker
 
 
+def preprocess_source(
+    text: str,
+    name: str = "<kernel>",
+    defines: Optional[Dict[str, str]] = None,
+) -> str:
+    """Run only the preprocessor — the canonical form the persistent
+    program cache (:mod:`repro.kernelc.progcache`) keys on."""
+    return Preprocessor(defines).process(text, name)
+
+
+def compile_preprocessed(preprocessed: str, name: str = "<kernel>") -> ast.Program:
+    """Lex/parse/type-check already-preprocessed text."""
+    source = SourceFile(preprocessed, name)
+    sink = DiagnosticSink(source)
+    tokens = Lexer(source, sink).tokenize()
+    sink.check()
+    program = Parser(tokens, source, sink).parse_program()
+    checker = TypeChecker(program, source, sink)
+    checker.check()
+    program.source = source
+    return program
+
+
 def compile_source(
     text: str,
     name: str = "<kernel>",
@@ -28,13 +51,4 @@ def compile_source(
     :class:`~repro.kernelc.preprocessor.PreprocessorError` or
     :class:`~repro.kernelc.diagnostics.CompileError` on invalid input.
     """
-    preprocessed = Preprocessor(defines).process(text, name)
-    source = SourceFile(preprocessed, name)
-    sink = DiagnosticSink(source)
-    tokens = Lexer(source, sink).tokenize()
-    sink.check()
-    program = Parser(tokens, source, sink).parse_program()
-    checker = TypeChecker(program, source, sink)
-    checker.check()
-    program.source = source
-    return program
+    return compile_preprocessed(preprocess_source(text, name, defines), name)

@@ -1,0 +1,136 @@
+"""Persistent on-disk compiled-program cache.
+
+``Program.build()`` keys its in-memory cache on raw source + defines;
+this module adds a second, cross-process level keyed on the
+*preprocessed* source (so distinct ``#define`` spellings of the same
+expansion share an entry) hashed together with a format version and a
+toolchain fingerprint (the kernelc sources themselves — editing the
+compiler invalidates every entry).
+
+Entries store the type-checked AST plus the lint findings via pickle.
+:class:`~repro.kernelc.builtins.ResolvedBuiltin` values embed lambdas
+and cannot pickle; they are externalized as persistent IDs and
+re-resolved on load (resolution is deterministic on the exact parameter
+types the checker recorded).
+
+Every failure mode — unreadable file, stale format, pickle error,
+re-resolution mismatch — is a silent miss: the caller falls back to a
+cold compile and overwrites the entry.  ``SKELCL_CACHE=off`` disables
+the cache; ``SKELCL_CACHE_DIR`` relocates it (default
+``~/.cache/skelcl/programs``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import pickle
+import tempfile
+from typing import List, Optional, Tuple
+
+from .builtins import ResolvedBuiltin, resolve_builtin
+
+_FORMAT = "skelcl-progcache-v1"
+
+_DISABLED_VALUES = ("off", "0", "no", "false", "disabled")
+
+_fingerprint_cache: Optional[str] = None
+
+
+def enabled() -> bool:
+    return os.environ.get("SKELCL_CACHE", "").strip().lower() not in _DISABLED_VALUES
+
+
+def cache_dir() -> str:
+    configured = os.environ.get("SKELCL_CACHE_DIR")
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "skelcl", "programs")
+
+
+def _toolchain_fingerprint() -> str:
+    """A digest over the kernelc sources: any compiler change invalidates
+    the cache wholesale (cheap and safe; computed once per process)."""
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        digest = hashlib.sha256()
+        package_dir = os.path.dirname(os.path.abspath(__file__))
+        for entry in sorted(os.listdir(package_dir)):
+            if not entry.endswith(".py"):
+                continue
+            digest.update(entry.encode())
+            with open(os.path.join(package_dir, entry), "rb") as handle:
+                digest.update(handle.read())
+        _fingerprint_cache = digest.hexdigest()
+    return _fingerprint_cache
+
+
+def entry_path(preprocessed: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(_FORMAT.encode())
+    digest.update(_toolchain_fingerprint().encode())
+    digest.update(preprocessed.encode())
+    name = digest.hexdigest()
+    return os.path.join(cache_dir(), name[:2], name + ".pkl")
+
+
+class _Pickler(pickle.Pickler):
+    def persistent_id(self, obj):
+        if isinstance(obj, ResolvedBuiltin):
+            return ("kernelc-builtin", obj.name, tuple(obj.param_types))
+        return None
+
+
+class _Unpickler(pickle.Unpickler):
+    def persistent_load(self, pid):
+        tag, name, param_types = pid
+        if tag != "kernelc-builtin":
+            raise pickle.UnpicklingError(f"unknown persistent id tag {tag!r}")
+        resolved = resolve_builtin(name, list(param_types))
+        if resolved is None:
+            raise pickle.UnpicklingError(f"builtin {name!r} no longer resolves")
+        return resolved
+
+
+def load(preprocessed: str) -> Optional[Tuple[object, List[object]]]:
+    """The cached ``(checked program, lint diagnostics)`` for
+    ``preprocessed``, or None on any kind of miss."""
+    if not enabled():
+        return None
+    try:
+        with open(entry_path(preprocessed), "rb") as handle:
+            payload = _Unpickler(handle).load()
+        if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+            return None
+        return payload["program"], payload["lint"]
+    except Exception:
+        return None
+
+
+def store(preprocessed: str, program: object, lint: List[object]) -> bool:
+    """Persist a successfully compiled program; returns False (and stays
+    silent) on any failure."""
+    if not enabled():
+        return False
+    try:
+        buffer = io.BytesIO()
+        _Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(
+            {"format": _FORMAT, "program": program, "lint": lint}
+        )
+        path = entry_path(preprocessed)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(buffer.getvalue())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return True
+    except Exception:
+        return False

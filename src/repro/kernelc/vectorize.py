@@ -52,10 +52,13 @@ Intentional differences (documented, all under undefined behaviour):
   the sequential per-item order, so racy kernels may produce different
   (still unspecified) results.
 
-Kernels using constructs with no lockstep lowering (``switch``, vector
-types, pointer casts, recursion, barriers inside helper functions, …)
-are rejected statically by :func:`plan_for` and fall back transparently
-to the per-item backend.
+Kernels using constructs with no lockstep lowering (vector types,
+pointer casts, recursion, barriers inside helper functions, …) are
+rejected statically by :func:`plan_for` and fall back transparently to
+the per-item backend.  ``switch`` statements run as masked case
+dispatch: every lane computes its entry case, then the cases execute in
+order with the union of lanes that have reached them (C fallthrough),
+``break`` peeling lanes off into the switch's break mask.
 """
 
 from __future__ import annotations
@@ -67,7 +70,8 @@ import numpy as np
 
 from . import ast
 from .builtins import ResolvedBuiltin, _strip_prefix
-from .compiler import _FunctionCompiler, _ProgramCompiler, CompiledKernel, _is_literal, fold_constants
+from .compiler import (_FunctionCompiler, _ProgramCompiler, CompiledKernel,
+                       _is_literal, fold_constants, node_cost)
 from .ctypes_ import (
     ArrayType,
     CType,
@@ -113,6 +117,14 @@ class _RecordingCompiler(_FunctionCompiler):
         origin = self._load_origins.get(temp)
         if origin is not None:
             self._record.cse[id(expr)] = origin
+
+    def compile_switch(self, stmt: ast.SwitchStmt) -> None:
+        # compile_switch charges its upfront cost via the direct
+        # ``charge()`` emitter, which bypasses the on_charge hook —
+        # record it explicitly so the evaluator can replay it.
+        self._record.charges[(id(stmt), "switch")] = \
+            node_cost(stmt.subject) + len(stmt.cases)
+        super().compile_switch(stmt)
 
 
 class _ProgramRecord:
@@ -173,8 +185,6 @@ def _function_reject_reason(fn: ast.FunctionDef) -> Optional[str]:
     if not fn.is_kernel and getattr(fn, "uses_barrier", False):
         return "barrier inside a helper function"
     for node in ast.walk(fn.body):
-        if isinstance(node, ast.SwitchStmt):
-            return "switch statement"
         if isinstance(node, ast.StringLiteral):
             return "string literal"
         if isinstance(node, ast.Member):
@@ -539,6 +549,17 @@ class _LoopCtx:
         self.continue_mask = np.zeros(n, dtype=bool)
 
 
+class _SwitchCtx:
+    """Break target of a ``switch``: shares ``break_mask`` duck-typing
+    with :class:`_LoopCtx` (a ``break`` binds to the innermost entry of
+    ``frame.loops``), but ``continue`` skips over it to the loop."""
+
+    __slots__ = ("break_mask",)
+
+    def __init__(self, n: int):
+        self.break_mask = np.zeros(n, dtype=bool)
+
+
 class _Frame:
     __slots__ = ("function", "scopes", "ret_value", "ret_mask", "loops")
 
@@ -862,8 +883,62 @@ class _Evaluator:
         return np.zeros_like(mask)
 
     def _stmt_ContinueStmt(self, stmt, mask):
-        self.frame.loops[-1].continue_mask |= mask
+        # continue binds to the innermost *loop*, skipping switch contexts.
+        for ctx in reversed(self.frame.loops):
+            if isinstance(ctx, _LoopCtx):
+                ctx.continue_mask |= mask
+                break
         return np.zeros_like(mask)
+
+    @staticmethod
+    def _switch_pattern(value):
+        """A case/subject value as an int64 bit pattern (matching the
+        lane representation of 64-bit integers)."""
+        if isinstance(value, (int, np.integer)) and not isinstance(value, np.ndarray):
+            value = int(value)
+            if value >= _TWO63:
+                value -= _TWO64
+            return _I64(value)
+        return value
+
+    def _stmt_SwitchStmt(self, stmt, mask):
+        # The per-item compiler charges subject cost + one comparison per
+        # case upfront (recorded under the (id, "switch") key).
+        cost = self.plan.charges.get((id(stmt), "switch"))
+        if cost:
+            self.ops_lanes[mask] += cost
+        subject = self._switch_pattern(self.eval(stmt.subject, mask))
+        num_cases = len(stmt.cases)
+        # Entry point per lane: the first matching case in case order,
+        # else the default, else past the end (no case runs).
+        start = np.full(self.n, num_cases, dtype=_I64)
+        unmatched = mask.copy()
+        default_index = num_cases
+        for index, case in enumerate(stmt.cases):
+            if case.value is None:
+                default_index = index
+                continue
+            value = self._switch_pattern(self.eval(case.value, mask))
+            eq = unmatched & np.equal(subject, value)
+            start[eq] = index
+            unmatched &= ~eq
+        if default_index < num_cases:
+            start[unmatched] = default_index
+        # Masked fallthrough: each case body runs with the union of
+        # lanes that entered at or before it and haven't broken out.
+        ctx = _SwitchCtx(self.n)
+        self.frame.loops.append(ctx)
+        current = np.zeros_like(mask)
+        for index, case in enumerate(stmt.cases):
+            current = current | (mask & (start == index))
+            if not current.any():
+                continue
+            self.frame.scopes.append({})
+            current = self.exec_stmt_list(case.body, current)
+            self.frame.scopes.pop()
+        self.frame.loops.pop()
+        # Lanes that matched nothing (no default) pass straight through.
+        return current | ctx.break_mask | (mask & (start == num_cases))
 
     # -- expressions -------------------------------------------------------
 
@@ -1210,7 +1285,16 @@ class _Evaluator:
     def _fdiv(self, left, right, mask):
         if not isinstance(left, np.ndarray) and not isinstance(right, np.ndarray):
             return c_fdiv(left, right)
-        return np.divide(_float_lanes(left, self.n), _float_lanes(right, self.n))
+        la = _float_lanes(left, self.n)
+        ra = _float_lanes(right, self.n)
+        result = np.divide(la, ra)
+        # c_fdiv returns the canonical positive quiet NaN for 0/0 and
+        # nan/0, where numpy emits the hardware default (sign bit set on
+        # x86) — canonicalize those lanes so buffers stay bit-exact.
+        fresh_nan = (ra == 0.0) & ((la == 0.0) | np.isnan(la))
+        if fresh_nan.any():
+            result = np.where(fresh_nan, math.nan, result)
+        return result
 
     def _idiv(self, left, right, op_type: ScalarType, mask):
         if not isinstance(left, np.ndarray) and not isinstance(right, np.ndarray):

@@ -17,9 +17,10 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis.races import SanitizeMode, resolve_sanitize_mode
 from ..scope.metrics import record_build
+from ..kernelc import progcache
 from ..kernelc.compiler import CompiledProgram, compile_program
 from ..kernelc.diagnostics import CompileError, Diagnostic, Severity
-from ..kernelc.frontend import compile_source
+from ..kernelc.frontend import compile_preprocessed, preprocess_source
 from ..kernelc.lint import lint_program
 from ..kernelc.preprocessor import PreprocessorError
 from .errors import BuildError
@@ -55,26 +56,46 @@ class Program:
         key = (self.source, tuple(sorted(self.defines.items())))
         cached = _BUILD_CACHE.get(key)
         if cached is not None:
-            record_build(cache_hit=True)
+            record_build("memory")
             self._compiled, self.lint_diagnostics = cached
             self.build_log = "(cached)"
             self._enforce_lint()
             return self
         try:
-            checked = compile_source(self.source, self.name, self.defines)
-            lint = lint_program(checked)
-            compiled = compile_program(checked)
-        except CompileError as exc:
-            self.build_log = str(exc)
-            raise BuildError(self.build_log) from exc
+            preprocessed = preprocess_source(self.source, self.name, self.defines)
         except PreprocessorError as exc:
             self.build_log = str(exc)
             raise BuildError(self.build_log) from exc
-        record_build(cache_hit=False)
+
+        # On-disk level: a prior process type-checked this exact
+        # preprocessed source — skip re-parse/re-typecheck/lint and go
+        # straight to the compiling backend.
+        compiled = lint = None
+        checked = None
+        entry = progcache.load(preprocessed)
+        if entry is not None:
+            restored, lint = entry
+            try:
+                compiled = compile_program(restored)
+            except Exception:
+                compiled = lint = None  # corrupt/stale entry: cold-compile
+        if compiled is not None:
+            record_build("disk")
+            self.build_log = "(disk cache)"
+        else:
+            try:
+                checked = compile_preprocessed(preprocessed, self.name)
+                lint = lint_program(checked)
+                compiled = compile_program(checked)
+            except CompileError as exc:
+                self.build_log = str(exc)
+                raise BuildError(self.build_log) from exc
+            record_build("compiled")
+            progcache.store(preprocessed, checked, lint)
+            self.build_log = "build successful"
         _BUILD_CACHE[key] = (compiled, lint)
         self._compiled = compiled
         self.lint_diagnostics = lint
-        self.build_log = "build successful"
         if lint:
             source = getattr(checked, "source", None)
             rendered = "\n".join(d.render(source) for d in lint)

@@ -1,0 +1,58 @@
+"""The plan IR: one node per deferred skeleton call.
+
+A :class:`PlanNode` remembers everything needed to run the call later
+through the skeleton's ordinary eager path (``node.run``), plus the
+structured fields (skeleton, inputs, extras) the fusion rewrite needs
+to compose user functions instead.
+
+Node lifecycle::
+
+    pending --> running --> done          (executed, eagerly or fused)
+       \\
+        +--> elided [--> running --> done]
+
+``elided`` marks an intermediate that a fusion rule folded away: its
+container was never materialized.  The node is kept (off the pending
+list, still registered on its containers) so a later host access can
+*recompute* it from its still-live inputs — the planner's host-mutation
+taint rules guarantee those inputs cannot change under it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+
+class PlanNode:
+    PENDING = "pending"
+    RUNNING = "running"
+    ELIDED = "elided"
+    DONE = "done"
+
+    __slots__ = ("planner", "op", "skeleton", "inputs", "output", "extras",
+                 "label", "run", "fusable", "seq", "state", "kw")
+
+    def __init__(self, planner, op: str, skeleton, inputs: Sequence,
+                 output, run: Callable[[], object], *, fusable: bool,
+                 label: Optional[str], extras: tuple = (), seq: int = 0,
+                 kw: Optional[dict] = None):
+        self.planner = planner
+        self.op = op  # "map" | "zip" | "reduce" | "scan" | "mapoverlap" | "allpairs"
+        self.skeleton = skeleton
+        self.inputs: List = list(inputs)
+        self.output = output
+        self.run = run
+        self.extras = extras
+        self.label = label
+        self.fusable = fusable
+        self.seq = seq
+        self.state = PlanNode.PENDING
+        self.kw = kw or {}
+
+    @property
+    def done(self) -> bool:
+        return self.state == PlanNode.DONE
+
+    def __repr__(self) -> str:
+        name = getattr(getattr(self.skeleton, "user", None), "name", "?")
+        return f"<PlanNode #{self.seq} {self.op}({name}) {self.state}>"

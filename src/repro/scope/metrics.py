@@ -128,11 +128,16 @@ def live_registries() -> List["MetricsRegistry"]:
     return list(_LIVE_REGISTRIES)
 
 
-def record_build(cache_hit: bool) -> None:
-    """Program-build hook: count builds (and cache hits) on every live
-    registry — builds are keyed by source text globally, not per
-    context, so each context observes the process-wide behaviour."""
-    result = "cached" if cache_hit else "compiled"
+def record_build(result: str) -> None:
+    """Program-build hook: count builds on every live registry — builds
+    are keyed by source text globally, not per context, so each context
+    observes the process-wide behaviour.
+
+    ``result`` is one of ``"memory"`` (in-process build-cache hit),
+    ``"disk"`` (served from the persistent program cache), or
+    ``"compiled"`` (cold front-end + backend run)."""
+    if result not in ("memory", "disk", "compiled"):
+        raise ValueError(f"unknown build result {result!r}")
     for registry in _LIVE_REGISTRIES:
         registry.counter("skelcl_program_builds_total", result=result).inc()
 

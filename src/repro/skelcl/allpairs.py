@@ -227,13 +227,6 @@ class AllPairs:
             out = positional_out_shim(_deprecated, "AllPairs")
         elif _deprecated:
             raise SkelCLError("AllPairs got both a positional and a keyword output container")
-        self.last_events = []
-        if self._mode == "raw":
-            func_name = self.user.name
-        else:
-            func_name = f"{self.reduce.user.name}∘{self.zip.user.name}"
-        self._call_label = label or default_call_label("AllPairs", func_name)
-        runtime = get_runtime()
         if not isinstance(a, Matrix) or not isinstance(b, Matrix):
             raise SkelCLError("AllPairs operates on two matrices")
         if a.cols != b.cols:
@@ -243,6 +236,26 @@ class AllPairs:
         element_dtype = dtype_for_ctype(self.element_type)
         if a.dtype != element_dtype or b.dtype != element_dtype:
             raise SkelCLError("AllPairs input dtypes do not match the customizing functions")
+        if self._mode == "raw":
+            func_name = self.user.name
+        else:
+            func_name = f"{self.reduce.user.name}∘{self.zip.user.name}"
+        label = label or default_call_label("AllPairs", func_name)
+        planner = getattr(get_runtime(), "planner", None)
+        if planner is not None and out is None:
+            # The B-side Copy distribution makes AllPairs unfusable — it
+            # defers as an eager-at-force node (docs/planner.md).
+            deferred = Matrix((a.rows, b.rows), dtype=dtype_for_ctype(self.out_type))
+            run = lambda: self._execute(a, b, out=deferred, label=label)
+            return planner.defer_opaque("allpairs", self, [a, b], deferred,
+                                        run, label)
+        return self._execute(a, b, out=out, label=label)
+
+    def _execute(self, a: Matrix, b: Matrix, *, out: Optional[Matrix] = None,
+                 label: Optional[str] = None) -> Matrix:
+        self.last_events = []
+        self._call_label = label
+        runtime = get_runtime()
         n, d = a.shape
         m = b.rows
 

@@ -61,6 +61,43 @@ class Container:
         self._chunk_readers: Dict[int, List[ocl.Event]] = {}
         self._host_events: List[ocl.Event] = []
         self.element_ctype = ctype_for_dtype(host.dtype)
+        # Lazy-planner state (see repro.plan): the deferred node that
+        # will produce this container's contents, and the deferred nodes
+        # reading it (forced before any in-place mutation so they still
+        # observe the pre-mutation values).
+        self._pending = None
+        self._pending_readers: List = []
+
+    # -- lazy-planner force points -----------------------------------------
+
+    def _force_pending(self) -> None:
+        """Force the deferred producer of this container, if any — the
+        read-side force point (host access, device use as an input)."""
+        node = self._pending
+        if node is not None:
+            node.planner.force_node(node)
+
+    def _before_write(self) -> None:
+        """Force point ahead of any in-place mutation (host writes,
+        ``out=`` reuse, redistribution teardown): materialize our own
+        deferred contents, then run every deferred reader so it consumes
+        the *current* values, not the about-to-be-written ones."""
+        self._force_pending()
+        readers = self._pending_readers
+        if not readers:
+            return
+        remaining = []
+        for node in readers:
+            if node.done:
+                continue
+            if node.planner.executing:
+                # The planner itself is writing (running a plan step);
+                # batch ordering and the event graph already sequence
+                # the in-flight readers correctly.
+                remaining.append(node)
+                continue
+            node.planner.force_node(node)
+        self._pending_readers = remaining
 
     # -- public state -------------------------------------------------------
 
@@ -115,6 +152,7 @@ class Container:
 
     def ensure_host(self) -> None:
         """Make the host copy up to date (implicit download)."""
+        self._force_pending()
         if self._host_valid:
             return
         if not self._device_valid:
@@ -272,6 +310,7 @@ class Container:
         device data is live (the cumbersome manual OpenCL dance of §3.2)."""
         if distribution == self._distribution:
             return
+        self._before_write()
         if self._relabel_if_layout_compatible(distribution):
             return
         if self._refresh_halos(distribution):
@@ -288,6 +327,7 @@ class Container:
     def ensure_on_devices(self, distribution: Optional[Distribution] = None) -> List[Tuple[Chunk, ocl.Buffer]]:
         """Make device data valid under ``distribution`` (or the current /
         default one); returns the chunk/buffer pairs for kernel launches."""
+        self._force_pending()
         target = distribution or self._distribution or self.default_distribution()
         if target != self._distribution and not self._relabel_if_layout_compatible(target) \
                 and not self._refresh_halos(target):
@@ -303,6 +343,7 @@ class Container:
 
     def prepare_as_output(self, distribution: Distribution) -> List[Tuple[Chunk, ocl.Buffer]]:
         """Allocate device storage for kernel output (no upload)."""
+        self._before_write()
         if distribution != self._distribution or not self._buffers:
             self._drop_buffers()
             self._distribution = distribution

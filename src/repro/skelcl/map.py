@@ -20,7 +20,8 @@ from .distribution import Block
 from .funcparse import extra_args_of, scalar_param, scalar_return
 from .matrix import Matrix
 from .runtime import SkelCLError, get_runtime
-from .skeleton import DEFAULT_WORK_GROUP_SIZE, Skeleton, round_up
+from .skeleton import (DEFAULT_WORK_GROUP_SIZE, Skeleton, default_call_label,
+                       round_up)
 from .vector import Vector
 
 _KERNEL_TEMPLATE = """\
@@ -174,6 +175,20 @@ class Map(Skeleton):
 
     def __call__(self, input_container: Union[Vector, Matrix], *extra_args,
                  out: Optional[Container] = None, label: Optional[str] = None,
+                 sample_fraction: Optional[float] = None):
+        from .index import IndexMatrix, IndexVector
+
+        planner = getattr(get_runtime(), "planner", None)
+        if (planner is not None and out is None and sample_fraction is None
+                and not isinstance(input_container, (IndexMatrix, IndexVector))
+                and isinstance(input_container, (Vector, Matrix))):
+            label = label or default_call_label("Map", self.user.name)
+            return planner.defer_map(self, input_container, extra_args, label)
+        return self._execute(input_container, extra_args, out=out, label=label,
+                             sample_fraction=sample_fraction)
+
+    def _execute(self, input_container: Union[Vector, Matrix], extra_args=(),
+                 *, out: Optional[Container] = None, label: Optional[str] = None,
                  sample_fraction: Optional[float] = None):
         self._begin_call(label)
         runtime = get_runtime()

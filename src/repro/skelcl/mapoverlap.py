@@ -42,8 +42,9 @@ from typing import Optional, Union
 from .distribution import Block, Copy, Distribution, Overlap, Single
 from .funcparse import append_hidden_params, pointer_param, scalar_return
 from .matrix import Matrix
-from .runtime import SkelCLError
-from .skeleton import Skeleton, positional_out_shim, round_up, scalar_literal
+from .runtime import SkelCLError, get_runtime
+from .skeleton import (Skeleton, default_call_label, positional_out_shim,
+                       round_up, scalar_literal)
 from .types_ import dtype_for_ctype
 from .vector import Vector
 
@@ -312,12 +313,31 @@ class MapOverlap(Skeleton):
             out = positional_out_shim(_deprecated, "MapOverlap")
         elif _deprecated:
             raise SkelCLError("MapOverlap got both a positional and a keyword output container")
-        self._begin_call(label)
         expected = dtype_for_ctype(self.in_type)
         if input_container.dtype != expected:
             raise SkelCLError(
                 f"MapOverlap input dtype {input_container.dtype} does not match {self.in_type}"
             )
+        planner = getattr(get_runtime(), "planner", None)
+        if (planner is not None and out is None
+                and type(input_container) in (Vector, Matrix)):
+            # Halo exchange makes MapOverlap unfusable — it defers as an
+            # eager-at-force node (docs/planner.md, "Fallbacks").
+            label = label or default_call_label("MapOverlap", self.user.name)
+            out_dtype = dtype_for_ctype(self.out_type)
+            if isinstance(input_container, Matrix):
+                deferred = Matrix(input_container.shape, dtype=out_dtype)
+            else:
+                deferred = Vector(input_container.size, dtype=out_dtype)
+            run = lambda: self._execute(input_container, out=deferred, label=label)
+            return planner.defer_opaque("mapoverlap", self, [input_container],
+                                        deferred, run, label)
+        return self._execute(input_container, out=out, label=label)
+
+    def _execute(self, input_container: Union[Vector, Matrix], *,
+                 out: Optional[Union[Vector, Matrix]] = None,
+                 label: Optional[str] = None):
+        self._begin_call(label)
         if isinstance(input_container, Matrix):
             return self._call_matrix(input_container, out)
         return self._call_vector(input_container, out)

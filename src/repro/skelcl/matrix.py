@@ -71,6 +71,7 @@ class Matrix(Container):
         return self._host[key * self.cols : (key + 1) * self.cols].copy()
 
     def __setitem__(self, key, value) -> None:
+        self._before_write()
         self.ensure_host()
         if isinstance(key, tuple):
             self._host[self._flat_index(key)] = value
@@ -79,12 +80,14 @@ class Matrix(Container):
         self.invalidate_devices()
 
     def fill(self, value) -> "Matrix":
+        self._before_write()
         self.ensure_host()
         self._host[:] = value
         self.invalidate_devices()
         return self
 
     def assign(self, array: np.ndarray) -> "Matrix":
+        self._before_write()
         self.ensure_host()
         array = np.asarray(array, dtype=self._host.dtype)
         if array.shape != self._shape:

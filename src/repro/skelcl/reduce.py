@@ -25,7 +25,7 @@ from .funcparse import scalar_param, scalar_return
 from .matrix import Matrix
 from .runtime import SkelCLError, get_runtime
 from .scalar import Scalar
-from .skeleton import DEFAULT_WORK_GROUP_SIZE, Skeleton
+from .skeleton import DEFAULT_WORK_GROUP_SIZE, Skeleton, default_call_label
 from .vector import Vector
 
 _KERNEL_TEMPLATE = """\
@@ -40,6 +40,39 @@ __kernel void skelcl_reduce(__global const {t}* SCL_IN,
     {t} SCL_ACC = {identity};
     for (size_t SCL_I = get_global_id(0); SCL_I < SCL_N; SCL_I += get_global_size(0)) {{
         SCL_ACC = {func}(SCL_ACC, SCL_IN[SCL_I + SCL_OFFSET]);
+    }}
+    SCL_SCRATCH[SCL_LID] = SCL_ACC;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (unsigned int SCL_S = {wg} / 2; SCL_S > 0; SCL_S = SCL_S / 2) {{
+        if (SCL_LID < SCL_S) {{
+            SCL_SCRATCH[SCL_LID] = {func}(SCL_SCRATCH[SCL_LID], SCL_SCRATCH[SCL_LID + SCL_S]);
+        }}
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }}
+    if (SCL_LID == 0) {{
+        SCL_OUT[get_group_id(0)] = SCL_SCRATCH[0];
+    }}
+}}
+"""
+
+# Stage 1 with a fused elementwise stage (map∘reduce): instead of
+# loading pre-materialized elements, each grid-stride iteration applies
+# the composed map chain (``{pre}``) to the *original* input.  The
+# explicit ``({t})`` cast reproduces the store the eager pipeline would
+# have performed on the intermediate, keeping results bit-exact.
+_FUSED_KERNEL_TEMPLATE = """\
+{pre_source}
+{user_source}
+
+__kernel void skelcl_reduce_fused(__global const {in_t}* SCL_IN,
+                                  __global {t}* SCL_OUT,
+                                  const unsigned int SCL_N,
+                                  const unsigned int SCL_OFFSET{pre_params}) {{
+    __local {t} SCL_SCRATCH[{wg}];
+    size_t SCL_LID = get_local_id(0);
+    {t} SCL_ACC = {identity};
+    for (size_t SCL_I = get_global_id(0); SCL_I < SCL_N; SCL_I += get_global_size(0)) {{
+        SCL_ACC = {func}(SCL_ACC, ({t})({pre}(SCL_IN[SCL_I + SCL_OFFSET]{pre_call})));
     }}
     SCL_SCRATCH[SCL_LID] = SCL_ACC;
     barrier(CLK_LOCAL_MEM_FENCE);
@@ -78,9 +111,38 @@ class Reduce(Skeleton):
             wg=self.work_group_size,
         )
 
+    def fused_kernel_source(self, premap) -> str:
+        """Stage-1 source with ``premap`` (a composed map chain from
+        :mod:`repro.plan.compose`) applied to every loaded element."""
+        return _FUSED_KERNEL_TEMPLATE.format(
+            pre_source=premap.source,
+            user_source=self.user.source,
+            in_t=premap.in_type.name,
+            t=self.element_type.name,
+            pre=premap.name,
+            pre_params=self.extra_param_source(premap.extra_types),
+            pre_call=self.extra_call_source(premap.extra_types),
+            func=self.user.name,
+            identity=self.identity,
+            wg=self.work_group_size,
+        )
+
     def __call__(self, input_container: Union[Vector, Matrix], *,
                  out: Optional[Scalar] = None,
                  label: Optional[str] = None) -> Scalar:
+        if out is not None and not isinstance(out, Scalar):
+            raise SkelCLError(
+                f"Reduce out= must be a Scalar, got {type(out).__name__}"
+            )
+        planner = getattr(get_runtime(), "planner", None)
+        if planner is not None and isinstance(input_container, (Vector, Matrix)):
+            label = label or default_call_label("Reduce", self.user.name)
+            return planner.reduce_now(self, input_container, out, label)
+        return self._execute(input_container, out=out, label=label)
+
+    def _execute(self, input_container: Union[Vector, Matrix], *,
+                 out: Optional[Scalar] = None, label: Optional[str] = None,
+                 premap=None) -> Scalar:
         self._begin_call(label)
         runtime = get_runtime()
         dtype = self.result_dtype(self.element_type)
@@ -88,13 +150,29 @@ class Reduce(Skeleton):
             raise SkelCLError(
                 f"Reduce out= must be a Scalar, got {type(out).__name__}"
             )
-        if input_container.dtype != dtype:
-            raise SkelCLError(
-                f"Reduce input dtype {input_container.dtype} does not match {self.element_type}"
+        program = self._program(self.kernel_source(), f"skelcl_reduce_{self.user.name}")
+        if premap is None:
+            if input_container.dtype != dtype:
+                raise SkelCLError(
+                    f"Reduce input dtype {input_container.dtype} does not match {self.element_type}"
+                )
+            stage1_program, stage1_name = program, "skelcl_reduce"
+            extras = ()
+        else:
+            in_dtype = self.result_dtype(premap.in_type)
+            if input_container.dtype != in_dtype:
+                raise SkelCLError(
+                    f"Reduce premap input dtype {input_container.dtype} does not "
+                    f"match {premap.in_type}"
+                )
+            stage1_program = self._program(
+                self.fused_kernel_source(premap),
+                f"skelcl_reduce_{self.user.name}_fused",
             )
+            stage1_name = "skelcl_reduce_fused"
+            extras = tuple(self.check_extra_args(premap.extra_types, premap.extras))
         distribution = self.resolve_input_distribution(input_container, Block())
         chunks = input_container.ensure_on_devices(distribution)
-        program = self._program(self.kernel_source(), f"skelcl_reduce_{self.user.name}")
 
         unit_elements = input_container._unit_elements
         itembytes = dtype.itemsize
@@ -116,8 +194,9 @@ class Reduce(Skeleton):
             partial_buffer = runtime.context.create_buffer(
                 groups * itembytes, runtime.devices[chunk.device_index], name="reduce_partials"
             )
-            kernel = program.create_kernel("skelcl_reduce")
-            kernel.set_args(buffer, partial_buffer, n, chunk.halo_before * unit_elements)
+            kernel = stage1_program.create_kernel(stage1_name)
+            kernel.set_args(buffer, partial_buffer, n,
+                            chunk.halo_before * unit_elements, *extras)
             launch = self._enqueue(chunk.device_index, kernel, (groups * wg,), (wg,),
                                    wait_for=input_container.chunk_events(position),
                                    inputs=[(input_container, position)])

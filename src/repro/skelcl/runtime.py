@@ -81,9 +81,30 @@ class Session(SkelCLRuntime):
     """
 
     def __init__(self, spec: ocl.DeviceSpec, num_devices: int, detect_races=None,
-                 backend=None):
+                 backend=None, lazy: Optional[bool] = None):
         super().__init__(spec, num_devices, detect_races=detect_races, backend=backend)
         self._closed = False
+        self.planner = None
+        if _resolve_lazy(lazy):
+            from ..plan.planner import Planner  # late: plan imports skelcl
+
+            self.planner = Planner(self)
+
+    # -- lazy planning -----------------------------------------------------
+
+    @property
+    def lazy(self) -> bool:
+        return self.planner is not None
+
+    def _flush_plan(self) -> None:
+        if self.planner is not None:
+            self.planner.flush()
+
+    def finish_all(self) -> int:
+        """Force any deferred skeleton calls, then resolve the whole
+        command graph (see :meth:`SkelCLRuntime.finish_all`)."""
+        self._flush_plan()
+        return super().finish_all()
 
     # -- observability -----------------------------------------------------
 
@@ -93,6 +114,7 @@ class Session(SkelCLRuntime):
         return self.context.metrics
 
     def metrics_snapshot(self) -> dict:
+        self._flush_plan()
         return self.context.metrics_snapshot()
 
     def profile(self, *args, **kwargs):
@@ -102,9 +124,11 @@ class Session(SkelCLRuntime):
         return _profile(self, *args, **kwargs)
 
     def export_trace(self, path: str) -> str:
+        self._flush_plan()
         return self.context.export_trace(path)
 
     def render_timeline(self, width: int = 64) -> str:
+        self._flush_plan()
         return self.context.render_timeline(width=width)
 
     # -- lifecycle ---------------------------------------------------------
@@ -121,7 +145,10 @@ class Session(SkelCLRuntime):
         global _runtime
         if self._closed:
             return
-        self._closed = True
+        try:
+            self._flush_plan()
+        finally:
+            self._closed = True
         _dump_observability(self)
         self.context.release()
         if _runtime is self:
@@ -146,7 +173,7 @@ def _dump_observability(session: Session) -> None:
         return
     from .. import scope
 
-    session.context.finish_all()
+    session.finish_all()
     if trace_path:
         scope.write_trace(session.context, trace_path)
     if metrics_path:
@@ -155,8 +182,17 @@ def _dump_observability(session: Session) -> None:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
 
 
+def _resolve_lazy(lazy: Optional[bool]) -> bool:
+    """An explicit ``lazy=`` wins; otherwise ``SKELCL_LAZY`` decides
+    (default: eager, matching the original library)."""
+    if lazy is not None:
+        return bool(lazy)
+    return os.environ.get("SKELCL_LAZY", "").strip().lower() in ("1", "on", "true", "yes")
+
+
 def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None,
-         detect_races=None, backend: Optional[str] = None) -> Session:
+         detect_races=None, backend: Optional[str] = None,
+         lazy: Optional[bool] = None) -> Session:
     """Initialize SkelCL on ``num_devices`` simulated GPUs.
 
     Mirrors ``SkelCL::init()``; must be called before creating containers
@@ -172,10 +208,15 @@ def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None,
     ``backend`` selects the NDRange execution backend (``"vector"`` or
     ``"interp"``); ``None`` defers to ``SKELCL_BACKEND``, then to the
     vectorized default.
+
+    ``lazy`` enables the lazy skeleton planner (see :mod:`repro.plan`):
+    skeleton calls defer into a plan and are fused at force time;
+    ``None`` defers to the ``SKELCL_LAZY`` environment variable
+    (default: eager).
     """
     global _runtime
     _runtime = Session(spec if spec is not None else ocl.TESLA_T10, num_devices,
-                       detect_races=detect_races, backend=backend)
+                       detect_races=detect_races, backend=backend, lazy=lazy)
     return _runtime
 
 

@@ -26,7 +26,7 @@ from .funcparse import scalar_param, scalar_return
 from typing import Optional
 
 from .runtime import SkelCLError, get_runtime
-from .skeleton import Skeleton, positional_out_shim
+from .skeleton import Skeleton, default_call_label, positional_out_shim
 from .vector import Vector
 
 # Hillis-Steele uses one element per work-item; 256 matches the SkelCL
@@ -114,15 +114,27 @@ class Scan(Skeleton):
             out = positional_out_shim(_deprecated, "Scan")
         elif _deprecated:
             raise SkelCLError("Scan got both a positional and a keyword output container")
-        self._begin_call(label)
         if not isinstance(input_vector, Vector):
             raise SkelCLError("Scan operates on vectors")
-        runtime = get_runtime()
         dtype = self.result_dtype(self.element_type)
         if input_vector.dtype != dtype:
             raise SkelCLError(
                 f"Scan input dtype {input_vector.dtype} does not match {self.element_type}"
             )
+        planner = getattr(get_runtime(), "planner", None)
+        if planner is not None and out is None:
+            label = label or default_call_label("Scan", self.user.name)
+            deferred = Vector(input_vector.size, dtype=dtype)
+            run = lambda: self._execute(input_vector, out=deferred, label=label)
+            return planner.defer_opaque("scan", self, [input_vector], deferred,
+                                        run, label)
+        return self._execute(input_vector, out=out, label=label)
+
+    def _execute(self, input_vector: Vector, *, out: Optional[Vector] = None,
+                 label: Optional[str] = None) -> Vector:
+        self._begin_call(label)
+        runtime = get_runtime()
+        dtype = self.result_dtype(self.element_type)
         distribution = Block()  # scan requires ordered, disjoint chunks
         chunks = input_vector.ensure_on_devices(distribution)
         if out is None:

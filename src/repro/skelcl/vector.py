@@ -46,6 +46,7 @@ class Vector(Container):
         return self._host[index]
 
     def __setitem__(self, index, value) -> None:
+        self._before_write()
         self.ensure_host()
         self._host[index] = value
         self.invalidate_devices()
@@ -55,12 +56,14 @@ class Vector(Container):
         return iter(self._host)
 
     def fill(self, value) -> "Vector":
+        self._before_write()
         self.ensure_host()
         self._host[:] = value
         self.invalidate_devices()
         return self
 
     def assign(self, values: Iterable) -> "Vector":
+        self._before_write()
         self.ensure_host()
         data = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
                           dtype=self._host.dtype)

@@ -16,7 +16,8 @@ from .distribution import Block
 from .funcparse import scalar_param, scalar_return
 from .matrix import Matrix
 from .runtime import SkelCLError, get_runtime
-from .skeleton import DEFAULT_WORK_GROUP_SIZE, Skeleton, round_up
+from .skeleton import (DEFAULT_WORK_GROUP_SIZE, Skeleton, default_call_label,
+                       round_up)
 from .vector import Vector
 
 _KERNEL_TEMPLATE = """\
@@ -61,6 +62,17 @@ class Zip(Skeleton):
 
     def __call__(self, left: Union[Vector, Matrix], right: Union[Vector, Matrix],
                  *extra_args, out: Optional[Container] = None,
+                 label: Optional[str] = None):
+        planner = getattr(get_runtime(), "planner", None)
+        if (planner is not None and out is None
+                and type(left) in (Vector, Matrix)
+                and type(right) in (Vector, Matrix)):
+            label = label or default_call_label("Zip", self.user.name)
+            return planner.defer_zip(self, left, right, extra_args, label)
+        return self._execute(left, right, extra_args, out=out, label=label)
+
+    def _execute(self, left: Union[Vector, Matrix], right: Union[Vector, Matrix],
+                 extra_args=(), *, out: Optional[Container] = None,
                  label: Optional[str] = None):
         self._begin_call(label)
         runtime = get_runtime()

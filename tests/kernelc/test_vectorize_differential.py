@@ -529,7 +529,10 @@ class TestFaultAgreement:
 
 
 class TestFallback:
-    def test_switch_kernel_falls_back_and_agrees(self):
+    def test_switch_kernel_vectorizes_and_agrees(self):
+        # switch used to be a fallback condition; it is now lowered to
+        # masked case dispatch (see tests/kernelc/test_vectorize_switch.py
+        # for the full differential coverage).
         source = """__kernel void k(__global int* out, __global const int* in) {
             int gid = get_global_id(0);
             int r;
@@ -542,12 +545,10 @@ class TestFallback:
         }"""
         program = compile_source(source)
         compiled = compile_program(program).kernel("k")
-        assert vectorize.plan_for(compiled) is None
-        assert "switch" in vectorize.reject_reason(compiled)
+        assert vectorize.reject_reason(compiled) is None
         arrays = {"out": np.zeros(16, np.int32),
                   "in": np.arange(16, dtype=np.int32)}
-        bufs = assert_backends_agree(source, "k", arrays, ["out", "in"], (16,), (8,),
-                                     require_vectorizable=False)
+        bufs = assert_backends_agree(source, "k", arrays, ["out", "in"], (16,), (8,))
         expected = np.array([10, 20, 30] * 6, np.int32)[:16]
         np.testing.assert_array_equal(bufs["out"], expected)
 

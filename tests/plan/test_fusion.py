@@ -1,0 +1,226 @@
+"""Differential harness for the lazy planner: every fused pipeline must
+be bit-exact with its eager execution while doing strictly less work
+(fewer kernel launches, fewer modeled ops, less memory traffic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+from repro import ocl
+
+SCALE = "float func(float x) { return x * 2.0f; }"
+SHIFT = "float func(float x) { return x + 3.25f; }"
+SQUARE = "float func(float x) { return x * x; }"
+ADD = "float func(float x, float y) { return x + y; }"
+MUL = "float func(float x, float y) { return x * y; }"
+
+_DATA = np.random.RandomState(7).rand(1024).astype(np.float32)
+
+
+def _stats(runtime):
+    runtime.finish_all()
+    metrics = runtime.metrics
+    return {
+        "launches": metrics.value("skelcl_commands_total", kind="ndrange_kernel"),
+        "ops": metrics.value("skelcl_kernel_ops_total"),
+        # Fusion saves *global memory* round-trips for intermediates;
+        # host<->device transfer volume is unchanged (intermediates are
+        # device-resident in both modes), so measure kernel bytes.
+        "traffic": sum(
+            event.info.get("global_bytes", 0)
+            for queue in runtime.context.queues
+            for event in queue.events
+            if event.command_type == "ndrange_kernel"
+        ),
+        "pcie": sum(q.total_transfer_bytes for q in runtime.context.queues),
+    }
+
+
+def _run(pipeline, *, lazy, num_devices=1):
+    """Run ``pipeline(runtime)`` in a fresh session; return the result
+    (as bytes for bit-exact comparison), work stats and the registry."""
+    runtime = skelcl.init(num_devices=num_devices, spec=ocl.TEST_DEVICE, lazy=lazy)
+    try:
+        result = pipeline(runtime)
+        stats = _stats(runtime)
+        return np.asarray(result).tobytes(), stats, runtime.metrics
+    finally:
+        skelcl.terminate()
+
+
+def _map_map_reduce(runtime):
+    scale, shift = skelcl.Map(SCALE), skelcl.Map(SHIFT)
+    total = skelcl.Reduce(ADD)
+    vec = skelcl.Vector(data=_DATA)
+    return np.float32(total(shift(scale(vec))).get_value())
+
+
+def _zip_of_map_chains(runtime):
+    scale, shift, square = skelcl.Map(SCALE), skelcl.Map(SHIFT), skelcl.Map(SQUARE)
+    mul = skelcl.Zip(MUL)
+    a = skelcl.Vector(data=_DATA)
+    b = skelcl.Vector(data=_DATA[::-1].copy())
+    return square(mul(scale(a), shift(b))).to_numpy()
+
+
+def _both(pipeline, num_devices=1):
+    eager = _run(pipeline, lazy=False, num_devices=num_devices)
+    lazy = _run(pipeline, lazy=True, num_devices=num_devices)
+    return eager, lazy
+
+
+def test_map_map_reduce_fuses_to_two_launches_bit_exact():
+    (eager_bytes, eager_stats, _), (lazy_bytes, lazy_stats, metrics) = _both(_map_map_reduce)
+    assert lazy_bytes == eager_bytes
+    # The acceptance bar: whole pipeline in <= 2 launches on one device
+    # (fused reduce stage 1 + plain stage 2), strictly cheaper than eager.
+    assert lazy_stats["launches"] <= 2
+    assert lazy_stats["launches"] < eager_stats["launches"]
+    assert lazy_stats["ops"] < eager_stats["ops"]
+    assert lazy_stats["traffic"] < eager_stats["traffic"]
+    assert lazy_stats["pcie"] <= eager_stats["pcie"]
+    assert metrics.value("skelcl_fusion_total", rule="map_map") >= 1
+    assert metrics.value("skelcl_fusion_total", rule="map_reduce") >= 1
+
+
+def test_map_map_reduce_multi_device_bit_exact():
+    (eager_bytes, eager_stats, _), (lazy_bytes, lazy_stats, _) = _both(
+        _map_map_reduce, num_devices=2)
+    assert lazy_bytes == eager_bytes
+    assert lazy_stats["launches"] < eager_stats["launches"]
+    assert lazy_stats["traffic"] < eager_stats["traffic"]
+
+
+def test_zip_of_map_chains_fuses_to_one_launch_bit_exact():
+    (eager_bytes, eager_stats, _), (lazy_bytes, lazy_stats, metrics) = _both(
+        _zip_of_map_chains)
+    assert lazy_bytes == eager_bytes
+    assert lazy_stats["launches"] == 1
+    assert eager_stats["launches"] == 4
+    assert lazy_stats["ops"] < eager_stats["ops"]
+    assert lazy_stats["traffic"] < eager_stats["traffic"]
+    assert metrics.value("skelcl_fusion_total", rule="zip_map") >= 1
+
+
+def test_fused_seams_preserve_float32_rounding():
+    """The seam casts matter: x*2 then +3.25 then square in float32 must
+    round exactly as the eager store/load sequence does."""
+    def pipeline(runtime):
+        scale, shift, square = skelcl.Map(SCALE), skelcl.Map(SHIFT), skelcl.Map(SQUARE)
+        vec = skelcl.Vector(data=_DATA)
+        return square(shift(scale(vec))).to_numpy()
+
+    (eager_bytes, _, _), (lazy_bytes, lazy_stats, _) = _both(pipeline)
+    assert lazy_bytes == eager_bytes
+    assert lazy_stats["launches"] == 1
+    reference = _DATA * np.float32(2.0)
+    reference = reference + np.float32(3.25)
+    reference = reference * reference
+    assert lazy_bytes == reference.astype(np.float32).tobytes()
+
+
+def test_multi_consumer_intermediate_falls_back():
+    def pipeline(runtime):
+        scale, shift, square = skelcl.Map(SCALE), skelcl.Map(SHIFT), skelcl.Map(SQUARE)
+        vec = skelcl.Vector(data=_DATA)
+        mid = scale(vec)          # consumed twice: cannot be elided/fused past
+        left = shift(mid)
+        right = square(mid)
+        return np.concatenate([left.to_numpy(), right.to_numpy()])
+
+    (eager_bytes, _, _), (lazy_bytes, _, metrics) = _both(pipeline)
+    assert lazy_bytes == eager_bytes
+    assert metrics.value("skelcl_plan_fallback_total", reason="multi_consumer") >= 1
+
+
+def test_deferral_and_host_read_force(runtime_1gpu_lazy):
+    runtime = runtime_1gpu_lazy
+    scale = skelcl.Map(SCALE)
+    vec = skelcl.Vector(data=_DATA)
+    result = scale(vec)
+    # Nothing ran yet: the call only recorded a plan node.
+    assert runtime.metrics.value("skelcl_plan_deferred_total", op="map") == 1
+    assert runtime.metrics.value("skelcl_commands_total", kind="ndrange_kernel") == 0
+    host = result.to_numpy()     # read-back is a force point
+    assert runtime.metrics.value("skelcl_commands_total", kind="ndrange_kernel") == 1
+    np.testing.assert_array_equal(host, _DATA * np.float32(2.0))
+
+
+def test_explicit_out_is_a_force_point(runtime_1gpu_lazy):
+    runtime = runtime_1gpu_lazy
+    scale = skelcl.Map(SCALE)
+    vec = skelcl.Vector(data=_DATA)
+    out = skelcl.Vector(vec.size, dtype=np.float32)
+    scale(vec, out=out)          # out= materializes eagerly
+    assert runtime.metrics.value("skelcl_commands_total", kind="ndrange_kernel") == 1
+    np.testing.assert_array_equal(out.to_numpy(), _DATA * np.float32(2.0))
+
+
+def test_input_mutation_forces_pending_readers(runtime_1gpu_lazy):
+    scale = skelcl.Map(SCALE)
+    vec = skelcl.Vector(data=_DATA)
+    result = scale(vec)          # deferred, reads vec
+    vec.fill(0.0)                # must force the reader first
+    np.testing.assert_array_equal(result.to_numpy(), _DATA * np.float32(2.0))
+    assert np.all(vec.to_numpy() == 0.0)
+
+
+def test_elided_intermediate_recomputes_on_demand(runtime_1gpu_lazy):
+    runtime = runtime_1gpu_lazy
+    scale, shift = skelcl.Map(SCALE), skelcl.Map(SHIFT)
+    mid = scale(skelcl.Vector(data=_DATA))
+    end = shift(mid)
+    np.testing.assert_array_equal(
+        end.to_numpy(), _DATA * np.float32(2.0) + np.float32(3.25))
+    # The chain fused, so mid was never materialized...
+    assert runtime.metrics.value("skelcl_plan_elided_total", op="map") == 1
+    # ...but reading it later recomputes it from its still-live input.
+    np.testing.assert_array_equal(mid.to_numpy(), _DATA * np.float32(2.0))
+    assert runtime.metrics.value("skelcl_plan_recompute_total", op="map") == 1
+
+
+def test_scan_falls_back_but_stays_correct():
+    def pipeline(runtime):
+        scale = skelcl.Map(SCALE)
+        prefix = skelcl.Scan(ADD, identity="0.0f")
+        return prefix(scale(skelcl.Vector(data=_DATA[:256]))).to_numpy()
+
+    (eager_bytes, _, _), (lazy_bytes, _, metrics) = _both(pipeline)
+    assert lazy_bytes == eager_bytes
+    assert metrics.value("skelcl_plan_fallback_total", reason="scan") >= 1
+
+
+def test_fused_pipelines_clean_under_strict_sanitizer(monkeypatch):
+    """Strict SkelSan (lint errors fatal + race detector raising) must
+    accept the generated fused sources and the fused schedules."""
+    monkeypatch.setenv("SKELCL_SANITIZE", "strict")
+    for pipeline in (_map_map_reduce, _zip_of_map_chains):
+        (eager_bytes, _, _), (lazy_bytes, _, _) = _both(pipeline)
+        assert lazy_bytes == eager_bytes
+
+
+def test_env_var_enables_lazy_mode(monkeypatch):
+    monkeypatch.setenv("SKELCL_LAZY", "1")
+    runtime = skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE)
+    try:
+        assert runtime.lazy
+        assert runtime.planner is not None
+    finally:
+        skelcl.terminate()
+    monkeypatch.delenv("SKELCL_LAZY")
+    runtime = skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE)
+    try:
+        assert not runtime.lazy
+        assert runtime.planner is None
+    finally:
+        skelcl.terminate()
+
+
+@pytest.fixture
+def runtime_1gpu_lazy():
+    runtime = skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE, lazy=True)
+    yield runtime
+    skelcl.terminate()
