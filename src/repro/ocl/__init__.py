@@ -39,13 +39,25 @@ from .kernel import Kernel
 from .ndrange import NDRange
 from .program import Program, build_cache_size, clear_build_cache
 from .queue import CommandQueue
-from .spec import DeviceSpec, TESLA_FERMI_480, TESLA_T10, TEST_DEVICE
+from .spec import (
+    CPU_8CORE,
+    CPU_16CORE,
+    DEVICE_PRESETS,
+    DeviceSpec,
+    TESLA_FERMI_480,
+    TESLA_T10,
+    TEST_DEVICE,
+    resolve_device_spec,
+)
 from .timing import kernel_time_ns, peer_transfer_time_ns, transfer_time_ns
 
 __all__ = [
     "BACKENDS",
     "Buffer",
     "BuildError",
+    "CPU_16CORE",
+    "CPU_8CORE",
+    "DEVICE_PRESETS",
     "DEFAULT_BACKEND",
     "CommandQueue",
     "Context",
@@ -77,6 +89,7 @@ __all__ = [
     "kernel_time_ns",
     "peer_transfer_time_ns",
     "resolve_backend",
+    "resolve_device_spec",
     "transfer_time_ns",
     "wait_for_events",
 ]

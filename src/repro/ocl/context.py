@@ -57,8 +57,11 @@ class Context:
                 queue._sanitizer = self.race_detector
 
     @staticmethod
-    def create(spec: DeviceSpec, num_devices: int = 1,
+    def create(spec: Union[DeviceSpec, Sequence[DeviceSpec]], num_devices: int = 1,
                detect_races=None, backend: Optional[str] = None) -> "Context":
+        """A context over ``num_devices`` copies of ``spec``, or — when
+        ``spec`` is a sequence — one device per listed spec (a mixed
+        CPU+GPU pool; ``num_devices`` is then ignored)."""
         return Context(Platform(spec, num_devices), detect_races=detect_races,
                        backend=backend)
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
 from .errors import OutOfResources
 from .spec import DeviceSpec
@@ -48,13 +48,39 @@ class Device:
 
 
 class Platform:
-    """A simulated OpenCL platform: N identical devices."""
+    """A simulated OpenCL platform.
 
-    def __init__(self, spec: DeviceSpec, num_devices: int = 1, name: Optional[str] = None):
-        if num_devices < 1:
-            raise ValueError("a platform needs at least one device")
-        self.name = name if name is not None else f"Simulated platform ({spec.name})"
-        self.devices = [Device(spec, index) for index in range(num_devices)]
+    ``Platform(spec, n)`` builds N identical devices (the historic,
+    homogeneous form).  ``Platform([spec_a, spec_b, ...])`` builds one
+    device per spec, so heterogeneous CPU+GPU pools are expressible;
+    device indices follow the sequence order.
+    """
+
+    def __init__(self, spec: Union[DeviceSpec, Sequence[DeviceSpec]],
+                 num_devices: int = 1, name: Optional[str] = None):
+        if isinstance(spec, DeviceSpec):
+            if num_devices < 1:
+                raise ValueError("a platform needs at least one device")
+            specs: List[DeviceSpec] = [spec] * num_devices
+        else:
+            specs = list(spec)
+            if not specs:
+                raise ValueError("a platform needs at least one device")
+            for candidate in specs:
+                if not isinstance(candidate, DeviceSpec):
+                    raise TypeError(
+                        f"expected DeviceSpec instances, got {type(candidate).__name__}"
+                    )
+        self.specs = specs
+        if name is not None:
+            self.name = name
+        elif len(set(s.name for s in specs)) == 1:
+            self.name = f"Simulated platform ({specs[0].name})"
+        else:
+            self.name = "Simulated platform (mixed: " + " + ".join(
+                s.name for s in specs
+            ) + ")"
+        self.devices = [Device(s, index) for index, s in enumerate(specs)]
 
     def __repr__(self) -> str:
         return f"<Platform {self.name!r} devices={len(self.devices)}>"

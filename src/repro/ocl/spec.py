@@ -4,17 +4,25 @@ A :class:`DeviceSpec` is pure data; the analytic timing model in
 :mod:`repro.ocl.timing` turns executed-kernel statistics into simulated
 nanoseconds using these parameters.
 
-The two presets model the hardware of the paper's evaluation:
+The GPU presets model the hardware of the paper's evaluation:
 
 * ``TESLA_T10`` — one GPU of the NVIDIA Tesla S1070 used in §4.1
   (240 streaming processor cores @ 1.44 GHz, 4 GB, 102 GB/s).
 * ``TESLA_FERMI_480`` — the "NVIDIA Tesla GPU with 480 processing
   elements and 4 GByte memory" used for the Sobel experiment in §4.2.
+
+The CPU presets (``CPU_8CORE``, ``CPU_16CORE``) model an OpenCL CPU
+driver on a host processor, so heterogeneous CPU+GPU pools are
+expressible — few wide cores, low launch overhead, host-memory-class
+bandwidth, and far less latency hiding than a GPU.  ``DEVICE_PRESETS``
+names every preset so runtimes and CLIs can accept spec mixes like
+``["tesla", "cpu-8core"]`` (see :func:`resolve_device_spec`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Dict, Union
 
 
 @dataclass(frozen=True)
@@ -80,6 +88,38 @@ TESLA_FERMI_480 = DeviceSpec(
     max_work_group_size=1024,
 )
 
+# An OpenCL CPU device: 8 wide out-of-order cores with 128-bit SIMD FMA
+# pipes (ipc=4 ops/clock/core), host DDR bandwidth, and a thread-pool
+# "launch" instead of a PCIe round trip.  Peak compute 8 × 2.7 × 4 =
+# 86.4 ops/ns — exactly 4x below TESLA_T10's 345.6, the skew the
+# heterogeneous-partitioning evaluation targets.
+CPU_8CORE = DeviceSpec(
+    name="8-core CPU (simulated)",
+    vendor="Generic x86 (simulated)",
+    processing_elements=8,
+    clock_ghz=2.7,
+    ipc=4.0,
+    global_mem_bytes=32 << 30,
+    global_bandwidth_gbs=25.0,
+    global_latency_ns=90.0,
+    latency_hiding=512.0,
+    local_mem_bytes=256 << 10,
+    local_bandwidth_gbs=400.0,
+    pcie_bandwidth_gbs=12.0,
+    pcie_latency_us=1.0,
+    launch_overhead_us=2.0,
+    max_work_group_size=1024,
+)
+
+CPU_16CORE = CPU_8CORE.with_(
+    name="16-core CPU (simulated)",
+    processing_elements=16,
+    clock_ghz=3.0,
+    global_mem_bytes=64 << 30,
+    global_bandwidth_gbs=50.0,
+    local_mem_bytes=512 << 10,
+)
+
 # A deliberately small spec for fast unit tests.
 TEST_DEVICE = DeviceSpec(
     name="Test device",
@@ -91,3 +131,32 @@ TEST_DEVICE = DeviceSpec(
     local_mem_bytes=16 << 10,
     max_work_group_size=256,
 )
+
+#: Named presets accepted wherever a device spec is expected
+#: (``skelcl.init(devices=["tesla", "cpu-8core"])``, the
+#: ``python -m repro.scope --devices`` flag, ...).
+DEVICE_PRESETS: Dict[str, DeviceSpec] = {
+    "tesla": TESLA_T10,
+    "tesla-t10": TESLA_T10,
+    "fermi": TESLA_FERMI_480,
+    "tesla-fermi": TESLA_FERMI_480,
+    "cpu-8core": CPU_8CORE,
+    "cpu-16core": CPU_16CORE,
+    "test": TEST_DEVICE,
+}
+
+
+def resolve_device_spec(spec: Union[str, DeviceSpec]) -> DeviceSpec:
+    """A :class:`DeviceSpec` from a preset name (case-insensitive) or a
+    spec instance (passed through unchanged)."""
+    if isinstance(spec, DeviceSpec):
+        return spec
+    if isinstance(spec, str):
+        preset = DEVICE_PRESETS.get(spec.strip().lower())
+        if preset is not None:
+            return preset
+        raise ValueError(
+            f"unknown device preset {spec!r}; known presets: "
+            + ", ".join(sorted(DEVICE_PRESETS))
+        )
+    raise TypeError(f"expected a DeviceSpec or preset name, got {type(spec).__name__}")

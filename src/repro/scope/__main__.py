@@ -7,6 +7,13 @@ and emits the observability artefacts::
     python -m repro.scope dotproduct --metrics metrics.json --report
     python -m repro.scope matmul --devices 4 --timeline
 
+``--devices`` takes either a device count (identical simulated GPUs)
+or a comma-separated spec mix of preset names for a heterogeneous
+pool, optionally with ``--partition`` selecting the split policy::
+
+    python -m repro.scope sobel --devices tesla,tesla,cpu-8core \\
+        --partition adaptive --report
+
 The Chrome trace loads in Perfetto (https://ui.perfetto.dev) or
 ``chrome://tracing``.  A previously written trace can be checked
 against the SkelScope schema without re-running anything::
@@ -84,8 +91,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument("workload", nargs="?", choices=sorted(WORKLOADS),
                         help="built-in workload to run")
-    parser.add_argument("--devices", type=int, default=2,
-                        help="number of simulated GPUs (default 2)")
+    parser.add_argument("--devices", default="2",
+                        help="number of simulated GPUs, or a comma-separated "
+                             "spec mix of preset names, e.g. tesla,cpu-8core "
+                             "(default 2)")
+    parser.add_argument("--partition", default=None,
+                        choices=["even", "throughput", "adaptive"],
+                        help="how Block/Overlap splits are sized over the pool "
+                             "(default: even split)")
     parser.add_argument("--size", type=int, default=None,
                         help="problem size (workload-specific default)")
     parser.add_argument("--trace", metavar="PATH",
@@ -112,7 +125,13 @@ def main(argv=None) -> int:
     run, default_size = WORKLOADS[args.workload]
     size = args.size or default_size
 
-    with skelcl.init(num_devices=args.devices) as session:
+    devices = args.devices.strip()
+    if devices.isdigit():
+        session = skelcl.init(num_devices=int(devices), partition=args.partition)
+    else:
+        session = skelcl.init(devices=[name for name in devices.split(",") if name],
+                              partition=args.partition)
+    with session:
         with profile(session) as prof:
             run(size)
         if args.trace:

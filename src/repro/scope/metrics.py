@@ -252,6 +252,7 @@ def derive_timeline_metrics(context, registry: Optional[MetricsRegistry] = None)
     elapsed = context.finish_all()
     registry.gauge("skelcl_critical_path_ns").set(elapsed)
     by_skeleton: Dict[str, int] = {}
+    compute_busy: List[int] = []
     for queue in context.queues:
         device = queue.device.index
         busy: Dict[str, int] = {}
@@ -262,6 +263,7 @@ def derive_timeline_metrics(context, registry: Optional[MetricsRegistry] = None)
             if event.command_type == "ndrange_kernel":
                 label = event.label or "<unlabelled>"
                 by_skeleton[label] = by_skeleton.get(label, 0) + event.duration_ns
+        compute_busy.append(busy.get("compute", 0))
         for engine, busy_ns in busy.items():
             if engine == "sync":
                 continue
@@ -275,6 +277,15 @@ def derive_timeline_metrics(context, registry: Optional[MetricsRegistry] = None)
             ).set(round(occupancy, 6))
     for label, kernel_ns in sorted(by_skeleton.items()):
         registry.gauge("skelcl_kernel_ns_by_skeleton", skeleton=label).set(kernel_ns)
+    # Load imbalance over devices that did compute: max/mean busy time.
+    # 1.0 means a perfectly balanced split; the adaptive partitioner's
+    # re-size threshold is expressed against this same quantity.
+    active = [b for b in compute_busy if b > 0]
+    if len(compute_busy) > 1 and active:
+        mean_busy = sum(active) / len(active)
+        registry.gauge("skelcl_compute_imbalance").set(
+            round(max(active) / mean_busy, 6) if mean_busy else 1.0
+        )
     detector = getattr(context, "race_detector", None)
     if detector is not None:
         registry.gauge("skelcl_races_detected").set(len(detector.races))

@@ -30,6 +30,7 @@ from .index import IndexMatrix, IndexVector
 from .map import Map
 from .mapoverlap import BoundaryMode, MapOverlap, SCL_NEAREST, SCL_NEUTRAL
 from .matrix import Matrix
+from .partition import AdaptivePartitioner, Partition, modeled_throughput
 from ..scope.profile import profile
 from .reduce import Reduce
 from .runtime import Session, SkelCLError, get_runtime, init, is_initialized, terminate
@@ -40,6 +41,7 @@ from .vector import Vector
 from .zip import Zip
 
 __all__ = [
+    "AdaptivePartitioner",
     "AllPairs",
     "Block",
     "BoundaryMode",
@@ -54,6 +56,7 @@ __all__ = [
     "MapOverlap",
     "Matrix",
     "Overlap",
+    "Partition",
     "Reduce",
     "SCL_NEAREST",
     "SCL_NEUTRAL",
@@ -71,6 +74,7 @@ __all__ = [
     "get_runtime",
     "init",
     "is_initialized",
+    "modeled_throughput",
     "overlap",
     "profile",
     "single",

@@ -32,7 +32,8 @@ from .funcparse import parse_user_function, pointer_param, scalar_return
 from .matrix import Matrix
 from .reduce import Reduce
 from .runtime import SkelCLError, get_runtime
-from .skeleton import default_call_label, positional_out_shim, rename_function, round_up
+from .skeleton import (default_call_label, partitioned, positional_out_shim,
+                       rename_function, round_up)
 from .types_ import dtype_for_ctype
 from .zip import Zip
 
@@ -267,14 +268,17 @@ class AllPairs:
             # for the B side instead.
             b = Matrix(data=np.array(a.to_numpy(), copy=True))
 
-        a_chunks = a.ensure_on_devices(Block())
+        # A's rows split over the devices (partition-sized when a policy
+        # is active); B is replicated, and the output rows follow A.
+        a_dist = partitioned(Block())
+        a_chunks = a.ensure_on_devices(a_dist)
         b_chunks = b.ensure_on_devices(Copy())
         out_dtype = dtype_for_ctype(self.out_type)
         if out is None:
             out = Matrix((n, m), dtype=out_dtype)
         elif out.shape != (n, m):
             raise SkelCLError(f"output matrix has shape {out.shape}, expected {(n, m)}")
-        out_chunks = out.prepare_as_output(Block())
+        out_chunks = out.prepare_as_output(a_dist)
 
         source = self.kernel_source()
         from .. import ocl

@@ -13,12 +13,22 @@ A distribution turns a container length (elements for vectors, rows for
 matrices) into a list of :class:`Chunk`: the *owned* range a device is
 responsible for plus the *stored* range (owned + halo) it keeps in its
 buffer.
+
+Chunk *sizing* is delegated to :class:`~repro.skelcl.partition.Partition`
+— an immutable per-device weight vector.  ``Block`` and ``Overlap``
+accept an optional partition (``None`` means the historic even split),
+so heterogeneous pools can give a 4x-faster GPU a 4x-larger chunk while
+`Single`/`Copy` are unaffected.  ``with_partition`` re-targets a
+distribution at a new split, preserving its other parameters (e.g. the
+overlap width).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
+
+from .partition import Partition
 
 
 @dataclass(frozen=True)
@@ -52,9 +62,18 @@ class Distribution:
     """Base class; instances are immutable and compared by value."""
 
     kind = "abstract"
+    #: The partition sizing this distribution's chunks, when it splits
+    #: data at all (`Block`/`Overlap`); None means the even split.
+    partition: Optional[Partition] = None
 
     def chunks(self, size: int, num_devices: int) -> List[Chunk]:
         raise NotImplementedError
+
+    def with_partition(self, partition: Optional[Partition]) -> "Distribution":
+        """This distribution re-targeted at ``partition``.  The base
+        returns ``self``: `Single` and `Copy` do not split data, so a
+        partition does not apply to them."""
+        return self
 
     def __eq__(self, other) -> bool:
         return type(self) is type(other) and vars(self) == vars(other)
@@ -95,16 +114,45 @@ class Copy(Distribution):
         return [Chunk(index, 0, size, 0, size) for index in range(num_devices)]
 
 
+def _resolve_ranges(partition: Optional[Partition], size: int,
+                    num_devices: int) -> List[tuple]:
+    part = partition if partition is not None else Partition.even(num_devices)
+    if part.num_devices != num_devices:
+        raise ValueError(
+            f"partition has {part.num_devices} weights but the runtime "
+            f"has {num_devices} device(s)"
+        )
+    return part.ranges(size)
+
+
 class Block(Distribution):
-    """Contiguous disjoint chunks, as equal as possible, one per device."""
+    """Contiguous disjoint chunks, one per device.
+
+    Without a partition the chunks are as equal as possible (the
+    paper's homogeneous split); with one, each device's chunk is sized
+    by its weight — including zero-length chunks for zero weights.
+    """
 
     kind = "block"
+
+    def __init__(self, partition: Optional[Partition] = None):
+        self.partition = partition
 
     def chunks(self, size: int, num_devices: int) -> List[Chunk]:
         return [
             Chunk(index, start, end, start, end)
-            for index, (start, end) in enumerate(block_ranges(size, num_devices))
+            for index, (start, end) in enumerate(
+                _resolve_ranges(self.partition, size, num_devices)
+            )
         ]
+
+    def with_partition(self, partition: Optional[Partition]) -> "Block":
+        return Block(partition)
+
+    def __repr__(self) -> str:
+        if self.partition is None:
+            return "Block()"
+        return f"Block(partition={self.partition})"
 
 
 class Overlap(Distribution):
@@ -113,44 +161,53 @@ class Overlap(Distribution):
     Each device stores its block and, additionally, ``overlap``
     elements (vector) or rows (matrix) of the neighbouring blocks, so a
     MapOverlap skeleton can read across chunk borders without inter-GPU
-    communication (Fig. 1d / Fig. 2d).
+    communication (Fig. 1d / Fig. 2d).  Like `Block`, an optional
+    partition sizes the owned ranges; a device whose owned range is
+    empty stores nothing at all — no halo — so fully-skewed partitions
+    enqueue no work for the starved device.
     """
 
     kind = "overlap"
 
-    def __init__(self, overlap: int = 1):
+    def __init__(self, overlap: int = 1, partition: Optional[Partition] = None):
         if overlap < 0:
             raise ValueError(f"overlap must be non-negative, got {overlap}")
         self.overlap = overlap
+        self.partition = partition
 
     def chunks(self, size: int, num_devices: int) -> List[Chunk]:
         result: List[Chunk] = []
-        for index, (start, end) in enumerate(block_ranges(size, num_devices)):
+        for index, (start, end) in enumerate(
+            _resolve_ranges(self.partition, size, num_devices)
+        ):
+            if start == end:
+                # An empty owned range keeps no halo either: the device
+                # holds no data and no commands are enqueued for it.
+                result.append(Chunk(index, start, end, start, end))
+                continue
             stored_start = max(0, start - self.overlap)
             stored_end = min(size, end + self.overlap)
             result.append(Chunk(index, start, end, stored_start, stored_end))
         return result
 
+    def with_partition(self, partition: Optional[Partition]) -> "Overlap":
+        return Overlap(self.overlap, partition)
+
     def __repr__(self) -> str:
-        return f"Overlap(overlap={self.overlap})"
+        if self.partition is None:
+            return f"Overlap(overlap={self.overlap})"
+        return f"Overlap(overlap={self.overlap}, partition={self.partition})"
 
 
 def block_ranges(size: int, num_devices: int) -> List[tuple]:
     """Split ``size`` into ``num_devices`` contiguous near-equal ranges.
 
-    The first ``size % num_devices`` chunks get one extra element; empty
-    ranges are produced when there are more devices than elements.
+    The historic even split, now a thin wrapper over
+    :meth:`Partition.ranges`: the first ``size % num_devices`` chunks
+    get one extra element; empty ranges are produced when there are
+    more devices than elements.
     """
-    if num_devices <= 0:
-        raise ValueError("need at least one device")
-    base, extra = divmod(size, num_devices)
-    ranges = []
-    start = 0
-    for index in range(num_devices):
-        length = base + (1 if index < extra else 0)
-        ranges.append((start, start + length))
-        start += length
-    return ranges
+    return Partition.even(num_devices).ranges(size)
 
 
 # Convenience singletons mirroring the paper's notation.

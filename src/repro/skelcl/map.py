@@ -21,7 +21,7 @@ from .funcparse import extra_args_of, scalar_param, scalar_return
 from .matrix import Matrix
 from .runtime import SkelCLError, get_runtime
 from .skeleton import (DEFAULT_WORK_GROUP_SIZE, Skeleton, default_call_label,
-                       round_up)
+                       partitioned, round_up)
 from .vector import Vector
 
 _KERNEL_TEMPLATE = """\
@@ -132,7 +132,7 @@ class Map(Skeleton):
             out = Matrix(index_matrix.shape, dtype=out_dtype)
         elif out.dtype != out_dtype:
             raise SkelCLError(f"output container dtype {out.dtype} does not match {self.out_type}")
-        out_chunks = out.prepare_as_output(index_matrix.distribution)
+        out_chunks = out.prepare_as_output(partitioned(index_matrix.distribution))
         program = self._program(self.index_matrix_kernel_source(),
                                 f"skelcl_map_index_m_{self.user.name}")
         cols = index_matrix.cols
@@ -157,7 +157,7 @@ class Map(Skeleton):
             out = Vector(index_vector.size, dtype=out_dtype)
         elif out.dtype != out_dtype:
             raise SkelCLError(f"output container dtype {out.dtype} does not match {self.out_type}")
-        out_chunks = out.prepare_as_output(index_vector.distribution)
+        out_chunks = out.prepare_as_output(partitioned(index_vector.distribution))
         program = self._program(self.index_kernel_source(), f"skelcl_map_index_{self.user.name}")
         for position, (chunk, out_buffer) in enumerate(out_chunks):
             n = chunk.owned_size

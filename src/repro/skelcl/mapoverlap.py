@@ -43,8 +43,8 @@ from .distribution import Block, Copy, Distribution, Overlap, Single
 from .funcparse import append_hidden_params, pointer_param, scalar_return
 from .matrix import Matrix
 from .runtime import SkelCLError, get_runtime
-from .skeleton import (Skeleton, default_call_label, positional_out_shim,
-                       round_up, scalar_literal)
+from .skeleton import (Skeleton, default_call_label, partitioned,
+                       positional_out_shim, round_up, scalar_literal)
 from .types_ import dtype_for_ctype
 from .vector import Vector
 
@@ -301,8 +301,11 @@ class MapOverlap(Skeleton):
         if isinstance(current, (Single, Copy)):
             return current  # whole data present: no halo needed
         if isinstance(current, Overlap) and current.overlap >= self.overlap:
-            return current
-        return Overlap(self.overlap)
+            return partitioned(current)
+        # A block-distributed input keeps its (possibly uneven) split;
+        # the halo is grown around the same owned ranges.
+        carried = current.partition if isinstance(current, (Block, Overlap)) else None
+        return partitioned(Overlap(self.overlap, carried))
 
     # -- execution -------------------------------------------------------------------
 
@@ -348,7 +351,9 @@ class MapOverlap(Skeleton):
         out_dtype = dtype_for_ctype(self.out_type)
         if out is None:
             out = Vector(vector.size, dtype=out_dtype)
-        out_chunks = out.prepare_as_output(Block() if distribution.kind == "overlap" else distribution)
+        out_chunks = out.prepare_as_output(
+            Block(distribution.partition) if distribution.kind == "overlap" else distribution
+        )
         program = self._program(self.vector_source(), f"skelcl_mapoverlap_{self.user.name}")
         total = vector.size
         for position, ((in_chunk, in_buffer), (out_chunk, out_buffer)) in enumerate(
@@ -374,7 +379,9 @@ class MapOverlap(Skeleton):
         out_dtype = dtype_for_ctype(self.out_type)
         if out is None:
             out = Matrix(matrix.shape, dtype=out_dtype)
-        out_chunks = out.prepare_as_output(Block() if distribution.kind == "overlap" else distribution)
+        out_chunks = out.prepare_as_output(
+            Block(distribution.partition) if distribution.kind == "overlap" else distribution
+        )
         program = self._program(self.matrix_source(), f"skelcl_mapoverlap_{self.user.name}")
         width = matrix.cols
         height = matrix.rows

@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import json
 import os
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 from .. import ocl
+from .partition import AdaptivePartitioner, Partition
 
 
 class SkelCLError(Exception):
@@ -34,11 +35,20 @@ class SkelCLError(Exception):
 
 
 class SkelCLRuntime:
-    def __init__(self, spec: ocl.DeviceSpec, num_devices: int, detect_races=None,
-                 backend=None):
-        self.spec = spec
-        self.num_devices = num_devices
-        self.context = ocl.Context.create(spec, num_devices, detect_races=detect_races,
+    def __init__(self, spec: Union[ocl.DeviceSpec, Sequence[ocl.DeviceSpec]],
+                 num_devices: int, detect_races=None, backend=None):
+        if isinstance(spec, ocl.DeviceSpec):
+            specs: List[ocl.DeviceSpec] = [spec] * num_devices
+        else:
+            specs = [ocl.resolve_device_spec(s) for s in spec]
+        self.specs = specs
+        self.spec = specs[0] if specs else None
+        self.num_devices = len(specs)
+        # The active Partition sizing Block/Overlap splits, or None for
+        # the historic even split.  Sessions manage it (static policy or
+        # adaptive partitioner); skeletons read it via `partitioned()`.
+        self.partition: Optional[Partition] = None
+        self.context = ocl.Context.create(specs, detect_races=detect_races,
                                           backend=backend)
 
     @property
@@ -80,8 +90,9 @@ class Session(SkelCLRuntime):
     calling :meth:`close`) terminates the runtime; both are idempotent.
     """
 
-    def __init__(self, spec: ocl.DeviceSpec, num_devices: int, detect_races=None,
-                 backend=None, lazy: Optional[bool] = None):
+    def __init__(self, spec: Union[ocl.DeviceSpec, Sequence[ocl.DeviceSpec]],
+                 num_devices: int, detect_races=None,
+                 backend=None, lazy: Optional[bool] = None, partition=None):
         super().__init__(spec, num_devices, detect_races=detect_races, backend=backend)
         self._closed = False
         self.planner = None
@@ -89,6 +100,68 @@ class Session(SkelCLRuntime):
             from ..plan.planner import Planner  # late: plan imports skelcl
 
             self.planner = Planner(self)
+        self.partitioner: Optional[AdaptivePartitioner] = None
+        self._install_partition_policy(_resolve_partition(partition))
+
+    # -- partitioning ------------------------------------------------------
+
+    def _install_partition_policy(self, policy) -> None:
+        if policy is None:
+            return
+        if isinstance(policy, Partition):
+            if policy.num_devices != self.num_devices:
+                raise SkelCLError(
+                    f"partition has {policy.num_devices} weights for "
+                    f"{self.num_devices} device(s)"
+                )
+            self.partition = policy
+        elif isinstance(policy, AdaptivePartitioner):
+            self.partitioner = policy
+            self.partition = policy.partition
+        elif policy in ("even",):
+            self.partition = Partition.even(self.num_devices)
+        elif policy in ("throughput", "proportional"):
+            self.partition = Partition.from_specs(self.specs).quantized()
+        elif policy in ("adaptive",):
+            self.partitioner = AdaptivePartitioner(self)
+            self.partition = self.partitioner.partition
+        else:
+            raise SkelCLError(
+                f"unknown partition policy {policy!r} (expected 'even', "
+                "'throughput', 'adaptive', a Partition, or an AdaptivePartitioner)"
+            )
+
+    def _observe_partition(self) -> None:
+        """Feed the adaptive partitioner after a flush; a changed
+        partition takes effect on the next skeleton call, where stale
+        containers redistribute through the command graph."""
+        if self.partitioner is not None:
+            self.partitioner.observe()
+            self.partition = self.partitioner.partition
+
+    def use_adaptive(self, initial="throughput",
+                     threshold: Optional[float] = None) -> AdaptivePartitioner:
+        """Install (or replace) an adaptive partitioner on this session.
+
+        ``initial`` seeds the split (``"throughput"``, ``"even"``, or an
+        explicit Partition); ``threshold`` overrides the imbalance
+        trigger.  Returns the partitioner, whose ``repartitions`` /
+        ``history`` expose the adaptation trajectory."""
+        kwargs = {} if threshold is None else {"threshold": threshold}
+        self.partitioner = AdaptivePartitioner(self, initial=initial, **kwargs)
+        self.partition = self.partitioner.partition
+        return self.partitioner
+
+    def rebalance(self) -> bool:
+        """Force an adaptive re-size from the latest measurements, even
+        below the imbalance threshold.  Returns True if the partition
+        changed; no-op (False) without an adaptive partitioner."""
+        if self.partitioner is None:
+            return False
+        self._flush_plan()
+        changed = self.partitioner.observe(force=True)
+        self.partition = self.partitioner.partition
+        return changed
 
     # -- lazy planning -----------------------------------------------------
 
@@ -99,12 +172,18 @@ class Session(SkelCLRuntime):
     def _flush_plan(self) -> None:
         if self.planner is not None:
             self.planner.flush()
+            # Lazy mode's force points are where fresh per-device kernel
+            # timings appear; re-partition here so the next deferred
+            # batch is sized from what the last one measured.
+            self._observe_partition()
 
     def finish_all(self) -> int:
         """Force any deferred skeleton calls, then resolve the whole
         command graph (see :meth:`SkelCLRuntime.finish_all`)."""
         self._flush_plan()
-        return super().finish_all()
+        elapsed = super().finish_all()
+        self._observe_partition()
+        return elapsed
 
     # -- observability -----------------------------------------------------
 
@@ -190,15 +269,39 @@ def _resolve_lazy(lazy: Optional[bool]) -> bool:
     return os.environ.get("SKELCL_LAZY", "").strip().lower() in ("1", "on", "true", "yes")
 
 
+def _resolve_partition(partition):
+    """An explicit ``partition=`` wins; otherwise ``SKELCL_PARTITION``
+    decides (default: off — the historic even split)."""
+    if partition is not None:
+        return partition
+    env = os.environ.get("SKELCL_PARTITION", "").strip().lower()
+    return env or None
+
+
 def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None,
          detect_races=None, backend: Optional[str] = None,
-         lazy: Optional[bool] = None) -> Session:
+         lazy: Optional[bool] = None, devices=None, partition=None) -> Session:
     """Initialize SkelCL on ``num_devices`` simulated GPUs.
 
     Mirrors ``SkelCL::init()``; must be called before creating containers
     or executing skeletons.  Calling it again replaces the runtime.
     Returns a :class:`Session`, usable directly (the classic global
     style) or as a context manager that terminates on exit.
+
+    ``devices`` builds a heterogeneous pool: a sequence of device specs
+    and/or preset names (see :data:`repro.ocl.DEVICE_PRESETS`), one
+    device per entry — ``skelcl.init(devices=["tesla", "cpu-8core"])``.
+    It is mutually exclusive with ``num_devices``/``spec``, which keep
+    their homogeneous meaning.
+
+    ``partition`` selects how Block/Overlap distributions split data
+    over the pool: ``None`` defers to ``SKELCL_PARTITION``, then to the
+    historic even split; ``"throughput"`` sizes chunks once,
+    proportional to each device's modeled peak throughput;
+    ``"adaptive"`` additionally re-sizes from measured per-device
+    kernel time whenever the imbalance exceeds the threshold (see
+    :mod:`repro.skelcl.partition`); an explicit
+    :class:`~repro.skelcl.partition.Partition` pins the split.
 
     ``detect_races`` enables the SkelSan command-graph race detector on
     every queue (see :mod:`repro.analysis`): ``"report"`` warns,
@@ -215,8 +318,14 @@ def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None,
     (default: eager).
     """
     global _runtime
-    _runtime = Session(spec if spec is not None else ocl.TESLA_T10, num_devices,
-                       detect_races=detect_races, backend=backend, lazy=lazy)
+    if devices is not None:
+        if spec is not None:
+            raise SkelCLError("pass either devices= or spec=, not both")
+        pool: Union[ocl.DeviceSpec, Sequence] = list(devices)
+    else:
+        pool = spec if spec is not None else ocl.TESLA_T10
+    _runtime = Session(pool, num_devices, detect_races=detect_races,
+                       backend=backend, lazy=lazy, partition=partition)
     return _runtime
 
 

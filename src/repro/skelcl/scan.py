@@ -21,12 +21,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from .distribution import Block
+from .distribution import Block, Overlap
 from .funcparse import scalar_param, scalar_return
 from typing import Optional
 
 from .runtime import SkelCLError, get_runtime
-from .skeleton import Skeleton, default_call_label, positional_out_shim
+from .skeleton import Skeleton, default_call_label, partitioned, positional_out_shim
 from .vector import Vector
 
 # Hillis-Steele uses one element per work-item; 256 matches the SkelCL
@@ -135,7 +135,11 @@ class Scan(Skeleton):
         self._begin_call(label)
         runtime = get_runtime()
         dtype = self.result_dtype(self.element_type)
-        distribution = Block()  # scan requires ordered, disjoint chunks
+        # Scan requires ordered, disjoint chunks; an uneven input split
+        # is preserved (only the halo is dropped from an Overlap).
+        current = input_vector.distribution
+        carried = current.partition if isinstance(current, (Block, Overlap)) else None
+        distribution = partitioned(Block(carried))
         chunks = input_vector.ensure_on_devices(distribution)
         if out is None:
             out = Vector(input_vector.size, dtype=dtype)

@@ -79,6 +79,25 @@ def positional_out_shim(args: Sequence, skeleton_name: str):
     return args[0]
 
 
+def partitioned(distribution: Distribution) -> Distribution:
+    """``distribution`` re-targeted at the session's active partition.
+
+    When the runtime has no partition policy (the historic default)
+    the distribution is returned unchanged; otherwise Block/Overlap are
+    re-sized to the active weights (Single/Copy pass through).  Called
+    at every point a skeleton resolves a distribution, so a partition
+    change — adaptive or via ``session.rebalance()`` — redistributes
+    stale containers through the ordinary command-graph machinery on
+    their next use."""
+    runtime = get_runtime()
+    partition = getattr(runtime, "partition", None)
+    if partition is None:
+        return distribution
+    if distribution.partition == partition:
+        return distribution
+    return distribution.with_partition(partition)
+
+
 def round_up(value: int, multiple: int) -> int:
     if multiple <= 0:
         return value
@@ -187,14 +206,16 @@ class Skeleton:
     @staticmethod
     def output_distribution(input_distribution: Distribution) -> Distribution:
         """Outputs follow the input's distribution; overlap inputs
-        produce block outputs (each device owns its block of results)."""
+        produce block outputs (each device owns its block of results,
+        sized by the same partition)."""
         if isinstance(input_distribution, Overlap):
-            return Block()
+            return Block(input_distribution.partition)
         return input_distribution
 
     @staticmethod
     def resolve_input_distribution(container, default: Distribution) -> Distribution:
-        return container.distribution if container.distribution is not None else default
+        dist = container.distribution if container.distribution is not None else default
+        return partitioned(dist)
 
     # -- extra ("additional") arguments -----------------------------------------
 

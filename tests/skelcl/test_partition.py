@@ -1,0 +1,196 @@
+"""Partition abstraction unit tests: apportionment, distribution
+integration, and the adaptive partitioner's bookkeeping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.skelcl.distribution import Block, Copy, Overlap, Single, block_ranges
+from repro.skelcl.partition import (AdaptivePartitioner, Partition,
+                                    modeled_throughput)
+
+
+class TestPartitionMath:
+    def test_even_matches_block_ranges(self):
+        for size in (0, 1, 7, 8, 10, 1000):
+            for devices in (1, 2, 3, 4, 7):
+                assert Partition.even(devices).ranges(size) == block_ranges(size, devices)
+
+    def test_weighted_counts(self):
+        assert Partition.of(4, 4, 1).counts(9000) == [4000, 4000, 1000]
+        assert Partition.of(3, 1).counts(8) == [6, 2]
+
+    def test_zero_weight_gets_empty_range(self):
+        assert Partition.of(1, 0).ranges(6) == [(0, 6), (6, 6)]
+        assert Partition.of(0, 1, 0).ranges(5) == [(0, 0), (0, 5), (5, 5)]
+
+    def test_largest_remainder_breaks_ties_by_index(self):
+        # Equal fractional remainders: the earlier device wins, matching
+        # the historic even-split behaviour.
+        assert Partition.even(3).counts(5) == [2, 2, 1]
+        assert Partition.of(1, 1, 1, 1).counts(6) == [2, 2, 1, 1]
+
+    def test_weights_need_not_be_normalized(self):
+        assert Partition.of(2, 2).ranges(10) == Partition.of(0.5, 0.5).ranges(10)
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(())
+        with pytest.raises(ValueError):
+            Partition.of(1, -1)
+        with pytest.raises(ValueError):
+            Partition.of(0, 0)
+        with pytest.raises(ValueError):
+            Partition.even(0)
+
+    def test_quantized_is_a_fixed_point(self):
+        part = Partition.of(3.14159, 2.71828, 1.41421).quantized()
+        assert part.quantized() == part
+
+    def test_value_equality_and_hash(self):
+        assert Partition.of(1, 2) == Partition.of(1, 2)
+        assert Partition.of(1, 2) != Partition.of(2, 1)
+        assert hash(Partition.of(1, 2)) == hash(Partition.of(1, 2))
+
+    @given(
+        weights=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=8),
+        size=st.integers(0, 5000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_ranges_cover_exactly(self, weights, size):
+        if not any(w > 0 for w in weights):
+            weights = weights + [1.0]
+        part = Partition.proportional(weights)
+        ranges = part.ranges(size)
+        assert len(ranges) == len(part.weights)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == size
+        for (_s1, e1), (s2, _e2) in zip(ranges, ranges[1:]):
+            assert e1 == s2
+        assert all(end >= start for start, end in ranges)
+
+
+class TestDistributionIntegration:
+    def test_block_with_partition(self):
+        chunks = Block(Partition.of(3, 1)).chunks(8, 2)
+        assert [(c.owned_start, c.owned_end) for c in chunks] == [(0, 6), (6, 8)]
+        assert [(c.stored_start, c.stored_end) for c in chunks] == [(0, 6), (6, 8)]
+
+    def test_block_without_partition_unchanged(self):
+        assert [(c.owned_start, c.owned_end) for c in Block().chunks(8, 2)] \
+            == [(0, 4), (4, 8)]
+
+    def test_overlap_with_partition_grows_halo_around_owned(self):
+        chunks = Overlap(2, Partition.of(1, 3)).chunks(12, 2)
+        assert [(c.owned_start, c.owned_end) for c in chunks] == [(0, 3), (3, 12)]
+        assert [(c.stored_start, c.stored_end) for c in chunks] == [(0, 5), (1, 12)]
+
+    def test_overlap_zero_owned_chunk_stores_nothing(self):
+        chunks = Overlap(2, Partition.of(1, 0)).chunks(10, 2)
+        assert chunks[1].owned_size == 0
+        assert chunks[1].stored_size == 0
+
+    def test_partition_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Block(Partition.of(1, 1)).chunks(8, 3)
+
+    def test_with_partition(self):
+        part = Partition.of(2, 1)
+        assert Block().with_partition(part) == Block(part)
+        assert Overlap(3).with_partition(part) == Overlap(3, part)
+        # Single/Copy do not split data, so a partition does not apply.
+        assert Single(1).with_partition(part) == Single(1)
+        assert Copy().with_partition(part) == Copy()
+
+    def test_distribution_equality_includes_partition(self):
+        assert Block(Partition.of(1, 1)) != Block()
+        assert Block(Partition.of(2, 1)) == Block(Partition.of(2, 1))
+        assert Overlap(1, Partition.of(2, 1)) != Overlap(1)
+
+
+class TestModeledThroughput:
+    def test_gpu_vs_cpu_skew(self):
+        gpu = modeled_throughput(ocl.TESLA_T10)
+        cpu = modeled_throughput(ocl.CPU_8CORE)
+        assert gpu == pytest.approx(345.6)
+        assert cpu == pytest.approx(86.4)
+        assert gpu / cpu == pytest.approx(4.0)
+
+    def test_from_specs_seed(self):
+        part = Partition.from_specs([ocl.TESLA_T10, ocl.TESLA_T10, ocl.CPU_8CORE])
+        assert part.counts(9000) == [4000, 4000, 1000]
+
+
+class TestDevicePresets:
+    def test_named_presets_resolve(self):
+        assert ocl.resolve_device_spec("tesla") is ocl.TESLA_T10
+        assert ocl.resolve_device_spec("CPU-8core") is ocl.CPU_8CORE
+        assert ocl.resolve_device_spec(ocl.TEST_DEVICE) is ocl.TEST_DEVICE
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown device preset"):
+            ocl.resolve_device_spec("abacus")
+
+    def test_mixed_platform(self):
+        platform = ocl.Platform([ocl.TESLA_T10, ocl.CPU_8CORE])
+        assert [d.index for d in platform.devices] == [0, 1]
+        assert platform.devices[0].spec is ocl.TESLA_T10
+        assert platform.devices[1].spec is ocl.CPU_8CORE
+        assert "mixed" in platform.name
+
+    def test_homogeneous_platform_unchanged(self):
+        platform = ocl.Platform(ocl.TEST_DEVICE, 3)
+        assert len(platform.devices) == 3
+        assert "mixed" not in platform.name
+
+
+class TestSessionPartitionPolicy:
+    def test_init_with_device_names(self):
+        with skelcl.init(devices=["tesla", "tesla", "cpu-8core"]) as session:
+            assert session.num_devices == 3
+            assert session.specs[2] is ocl.CPU_8CORE
+            assert session.spec is ocl.TESLA_T10  # compat: first spec
+            assert session.partition is None
+
+    def test_throughput_policy_sets_static_partition(self):
+        with skelcl.init(devices=["tesla", "cpu-8core"],
+                         partition="throughput") as session:
+            assert session.partition is not None
+            assert session.partition.counts(1000) == [800, 200]
+            assert session.partitioner is None
+
+    def test_adaptive_policy_installs_partitioner(self):
+        with skelcl.init(devices=["tesla", "cpu-8core"],
+                         partition="adaptive") as session:
+            assert isinstance(session.partitioner, AdaptivePartitioner)
+            assert session.partition == session.partitioner.partition
+
+    def test_explicit_partition(self):
+        part = Partition.of(1, 3)
+        with skelcl.init(num_devices=2, spec=ocl.TEST_DEVICE,
+                         partition=part) as session:
+            assert session.partition == part
+
+    def test_partition_device_count_mismatch_rejected(self):
+        with pytest.raises(skelcl.SkelCLError):
+            skelcl.init(num_devices=2, spec=ocl.TEST_DEVICE,
+                        partition=Partition.of(1, 1, 1))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(skelcl.SkelCLError):
+            skelcl.init(num_devices=2, spec=ocl.TEST_DEVICE, partition="magic")
+
+    def test_devices_and_spec_mutually_exclusive(self):
+        with pytest.raises(skelcl.SkelCLError):
+            skelcl.init(devices=["tesla"], spec=ocl.TEST_DEVICE)
+
+    def test_env_var_policy(self, monkeypatch):
+        monkeypatch.setenv("SKELCL_PARTITION", "throughput")
+        with skelcl.init(devices=["tesla", "cpu-8core"]) as session:
+            assert session.partition is not None
+            assert session.partition.counts(10) == [8, 2]
+
+    def test_rebalance_without_partitioner_is_noop(self):
+        with skelcl.init(num_devices=2, spec=ocl.TEST_DEVICE) as session:
+            assert session.rebalance() is False
