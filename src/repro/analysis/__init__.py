@@ -11,6 +11,15 @@ Two fronts:
   conflict (at least one write, overlapping byte ranges) without an
   ordering path — with full provenance (device, command, enqueue site).
 
+* **Affine access footprints** (:mod:`repro.analysis.affine`,
+  "SkelAccess"): an abstract interpretation over the checked kernel AST
+  that summarizes every ``__global``/``__constant`` pointer access as
+  guarded affine forms over work-item ids and scalar parameters.
+  Evaluated at enqueue time against the concrete NDRange, the summaries
+  give the race detector exact (strided) byte ranges; statically they
+  power the ``symbolic-oob`` and coalescing lint rules and the
+  planner's fusion legality check.
+
 * **Kernel-source linting** lives in :mod:`repro.kernelc.lint` (it is a
   pure AST analysis); :func:`lint_program` is re-exported here for
   convenience.
@@ -21,6 +30,15 @@ environment variable (``off`` / ``report`` / ``strict``).
 """
 
 from .access import BufferAccess, kernel_buffer_accesses, pointer_param_modes
+from .affine import (
+    AffineForm,
+    Footprint,
+    KernelSummary,
+    UExpr,
+    make_eval_env,
+    resolve_footprint,
+    summarize_kernel,
+)
 from .races import (
     Race,
     RaceDetector,
@@ -31,7 +49,14 @@ from .races import (
 )
 
 __all__ = [
+    "AffineForm",
     "BufferAccess",
+    "Footprint",
+    "KernelSummary",
+    "UExpr",
+    "make_eval_env",
+    "resolve_footprint",
+    "summarize_kernel",
     "Race",
     "RaceDetector",
     "RaceError",

@@ -1,19 +1,28 @@
 """Buffer access sets: which byte ranges a command reads and writes.
 
 Transfers declare their ranges directly (offset + length).  Kernel
-launches derive theirs from a static analysis of the kernel AST: for
-every ``__global``/``__constant`` pointer parameter the analysis decides
-whether the kernel may *read* and/or *write* through it
-(:func:`pointer_param_modes`).  ``const``-qualified pointers are
-read-only by declaration; for the rest the analysis walks every store
-target and propagates through user-function calls.  Anything it cannot
-prove (pointer aliasing into locals, recursion) falls back to
-read+write — the analysis over-approximates, so the race detector never
-misses a conflict because of it.
+launches derive theirs from static analysis of the kernel AST, at two
+levels of precision:
+
+* the *mode* level (:func:`pointer_param_modes`): for every
+  ``__global``/``__constant`` pointer parameter, may the kernel read
+  and/or write through it?  ``const``-qualified pointers are read-only
+  by declaration; the analysis walks every store target and propagates
+  through user-function calls.
+* the *footprint* level (:mod:`repro.analysis.affine`): the affine
+  access summary, evaluated against the concrete NDRange and scalar
+  arguments, yields per-access-site byte ranges with a stride — so two
+  kernels writing ``out[2*i]`` and ``out[2*i+1]`` produce provably
+  disjoint access sets.
+
+Anything either analysis cannot prove falls back to the whole-chunk
+read+write range — both over-approximate, so the race detector never
+misses a conflict because of them.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
@@ -24,16 +33,30 @@ READ = "r"
 WRITE = "w"
 READ_WRITE = "rw"
 
+#: Above this many resolved ranges per parameter the per-site set is
+#: collapsed to its dense hull, keeping race checks O(small).
+_MAX_RANGES_PER_PARAM = 8
+
 
 @dataclass(frozen=True)
 class BufferAccess:
-    """One command's access to a byte range of one buffer."""
+    """One command's access to a byte range of one buffer.
+
+    ``stride == 0`` means the range is dense: every byte in
+    ``[start, stop)`` may be touched.  ``stride > 0`` means only the
+    arithmetic progression ``start + k*stride .. +width`` is touched —
+    the footprint of a strided kernel access like ``out[2*gid]``.
+    ``provenance`` names the originating kernel argument and index
+    expression for race reports."""
 
     buffer_uid: int
     buffer_name: str
     start: int
     stop: int  # half-open [start, stop)
     mode: str  # READ, WRITE or READ_WRITE
+    stride: int = 0
+    width: int = 0
+    provenance: str = ""
 
     @staticmethod
     def read(buffer, offset: int, nbytes: int) -> "BufferAccess":
@@ -55,16 +78,44 @@ class BufferAccess:
 
     def conflicts_with(self, other: "BufferAccess") -> bool:
         """True when the two accesses touch the same buffer, their byte
-        ranges overlap, and at least one of them writes."""
+        ranges overlap, and at least one of them writes.  Strided
+        accesses additionally compare residue classes: interleaved
+        progressions that never share a byte do not conflict."""
         if self.buffer_uid != other.buffer_uid:
             return False
         if not (self.writes or other.writes):
             return False
-        return self.start < other.stop and other.start < self.stop
+        if not (self.start < other.stop and other.start < self.stop):
+            return False
+        return not _residue_disjoint(self, other)
 
     def describe(self) -> str:
         verb = {READ: "reads", WRITE: "writes", READ_WRITE: "reads+writes"}[self.mode]
-        return f"{verb} {self.buffer_name}#{self.buffer_uid}[{self.start}:{self.stop}]"
+        shape = f"[{self.start}:{self.stop}]"
+        if self.stride:
+            shape = f"[{self.start}:{self.stop}:{self.stride}]"
+        text = f"{verb} {self.buffer_name}#{self.buffer_uid}{shape}"
+        if self.provenance:
+            text += f" ({self.provenance})"
+        return text
+
+
+def _residue_disjoint(a: BufferAccess, b: BufferAccess) -> bool:
+    """True when two *overlapping* ranges provably share no byte
+    because their strided progressions live in different residue
+    classes (e.g. ``out[2*i]`` vs ``out[2*i+1]``)."""
+    if not a.stride or not b.stride:
+        return False  # a dense range meets everything in its span
+    g = math.gcd(a.stride, b.stride)
+    if g <= 1:
+        return False
+    # a touches [a.start + i*a.stride, +a.width); b likewise.  Modulo g
+    # both progressions are fixed windows; they intersect iff some
+    # delta ≡ (a.start - b.start) (mod g) lies in (-b.width, a.width).
+    d0 = (a.start - b.start) % g
+    lo = -b.width + 1
+    delta = lo + ((d0 - lo) % g)
+    return delta >= a.width
 
 
 # -- kernel pointer-parameter access modes ----------------------------------
@@ -255,22 +306,142 @@ def pointer_param_modes(program: ast.Program, fn: ast.FunctionDef) -> Dict[str, 
     return result
 
 
-def kernel_buffer_accesses(kernel) -> List[BufferAccess]:
-    """The buffer access set of a bound :class:`repro.ocl.Kernel`: one
-    record per Buffer argument, spanning the whole buffer, with the mode
-    from :func:`pointer_param_modes` (cached per compiled kernel)."""
+def _param_modes(kernel) -> Dict[str, str]:
     compiled = kernel.compiled
     modes = getattr(compiled, "_skelsan_param_modes", None)
     if modes is None:
         program_ast = kernel.program.compiled.program
         modes = pointer_param_modes(program_ast, compiled.definition)
         compiled._skelsan_param_modes = modes
+    return modes
+
+
+def _kernel_summary(kernel):
+    """The (cached) affine access summary of the bound kernel, or None
+    when summarization itself failed."""
+    from . import affine
+
+    compiled = kernel.compiled
+    marker = "_skelaccess_summary_result"
+    cached = getattr(compiled, marker, False)
+    if cached is not False:
+        return cached
+    try:
+        program_ast = kernel.program.compiled.program
+        summary = affine.summarize_kernel(program_ast, compiled.definition)
+    except Exception:
+        summary = None
+    setattr(compiled, marker, summary)
+    return summary
+
+
+def _scalar_args(kernel) -> Dict[str, int]:
+    """Integer scalar arguments by parameter name (the uniforms the
+    affine evaluation substitutes)."""
+    scalars: Dict[str, int] = {}
+    for param, value in zip(kernel.compiled.definition.params, kernel._args):
+        if getattr(value, "uid", None) is not None:
+            continue
+        if isinstance(value, bool):
+            scalars[param.name] = int(value)
+        elif isinstance(value, int):
+            scalars[param.name] = value
+        else:
+            try:
+                import numpy as np
+
+                if isinstance(value, np.integer):
+                    scalars[param.name] = int(value)
+            except ImportError:  # pragma: no cover
+                pass
+    return scalars
+
+
+def _count_summary(metrics, kind: str) -> None:
+    if metrics is not None:
+        metrics.counter("skelcl_access_summary_total", kind=kind).inc()
+
+
+def _resolve_param(summary, param_name, value, env) -> Optional[List[BufferAccess]]:
+    """Footprint-derived accesses for one Buffer argument, or None to
+    fall back to the whole-chunk range."""
+    from . import affine
+
+    psum = summary.params.get(param_name)
+    if psum is None or not psum.affine:
+        return None
+    resolved: List[BufferAccess] = []
+    name = value.name or param_name
+    for fp in psum.footprints:
+        try:
+            access = affine.resolve_footprint(fp, env, psum.elem_size,
+                                              value.nbytes)
+        except (affine.Unresolvable, KeyError, OverflowError):
+            return None
+        if access is None:
+            continue  # guards infeasible for this launch
+        provenance = f"arg {param_name}, index {fp.index.format()}"
+        resolved.append(BufferAccess(
+            value.uid, name, access.start, access.stop, fp.mode,
+            access.stride, access.width, provenance))
+    if len(resolved) > _MAX_RANGES_PER_PARAM:
+        start = min(a.start for a in resolved)
+        stop = max(a.stop for a in resolved)
+        mode = psum.mode
+        resolved = [BufferAccess(value.uid, name, start, stop, mode,
+                                 provenance=f"arg {param_name}, {len(psum.footprints)} sites")]
+    return _merge_ranges(resolved)
+
+
+def _merge_ranges(accesses: List[BufferAccess]) -> List[BufferAccess]:
+    """Coalesce identical-shape duplicates (one site reached through
+    several paths) while keeping distinct strides/modes apart."""
+    seen: Dict[tuple, BufferAccess] = {}
+    for access in accesses:
+        key = (access.start, access.stop, access.stride, access.width,
+               access.mode)
+        if key not in seen:
+            seen[key] = access
+    return list(seen.values())
+
+
+def kernel_buffer_accesses(kernel, ndrange=None, metrics=None) -> List[BufferAccess]:
+    """The buffer access set of a bound :class:`repro.ocl.Kernel`.
+
+    With an ``ndrange``, every Buffer argument whose parameter has an
+    affine summary yields exact per-site byte ranges (with stride and
+    provenance), evaluated against the launch geometry and the integer
+    scalar arguments; parameters the summary could not model — and
+    every parameter when ``ndrange`` is None — keep the historic
+    whole-buffer range with the mode from :func:`pointer_param_modes`.
+    ``metrics`` (a SkelScope registry) counts each pointer argument
+    under ``skelcl_access_summary_total{kind=affine|fallback}``.
+    """
+    from . import affine
+
+    compiled = kernel.compiled
+    modes = _param_modes(kernel)
+    summary = _kernel_summary(kernel) if ndrange is not None else None
+    env = None
+    if summary is not None:
+        env = affine.make_eval_env(ndrange.global_size, ndrange.local_size,
+                                   _scalar_args(kernel))
     accesses: List[BufferAccess] = []
     for param, value in zip(compiled.definition.params, kernel._args):
         uid = getattr(value, "uid", None)
         if uid is None:  # not a Buffer (scalar/vector argument)
             continue
+        resolved = None
+        if env is not None:
+            resolved = _resolve_param(summary, param.name, value, env)
+        if resolved is not None:
+            _count_summary(metrics, "affine")
+            accesses.extend(resolved)
+            continue
+        if ndrange is not None:
+            _count_summary(metrics, "fallback")
         mode = modes.get(param.name, READ_WRITE)
         accesses.append(BufferAccess(uid, value.name or param.name,
-                                     0, value.nbytes, mode))
+                                     0, value.nbytes, mode,
+                                     provenance=f"arg {param.name}"))
     return accesses

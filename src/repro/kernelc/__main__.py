@@ -7,6 +7,7 @@ Usage::
     python -m repro.kernelc FILE.cl --print    # pretty-print the source
     python -m repro.kernelc FILE.cl --python   # show the compiled Python
     python -m repro.kernelc FILE.cl --lint     # run the lint pass
+    python -m repro.kernelc FILE.cl --access   # show affine access summaries
     python -m repro.kernelc FILE.py --lint     # lint kernel strings in a
                                                # Python module
     echo '...' | python -m repro.kernelc -     # read from stdin
@@ -73,10 +74,11 @@ def _extract_kernel_strings(path: str):
     return found
 
 
-def _lint_python_module(path: str) -> int:
+def _lint_python_module(path: str, show_access: bool = False) -> int:
     """Lint every kernel string of a Python module; 0 when error-free."""
     failed = 0
     strings = _extract_kernel_strings(path)
+    affine_total = fallback_total = 0
     for lineno, text in strings:
         name = f"{path}:{lineno}"
         try:
@@ -90,9 +92,47 @@ def _lint_python_module(path: str) -> int:
             sys.stderr.write(diag.render(program.source) + "\n")
         if any(d.severity is Severity.ERROR for d in diagnostics):
             failed += 1
+        if show_access:
+            a, f = _print_access_summaries(program, name)
+            affine_total += a
+            fallback_total += f
     status = "clean" if not failed else f"{failed} with errors"
     print(f"{path}: {len(strings)} kernel string(s), {status}")
+    if show_access and (affine_total or fallback_total):
+        total = affine_total + fallback_total
+        print(f"{path}: access summaries: {affine_total}/{total} "
+              f"pointer parameter(s) affine")
     return 0 if not failed else 1
+
+
+def _print_access_summaries(program, name: str):
+    """Render the SkelAccess summary of every kernel; returns the
+    (affine, fallback) pointer-parameter counts."""
+    from ..analysis import affine
+
+    affine_params = fallback_params = 0
+    for fn in program.kernels():
+        try:
+            summary = affine.cached_kernel_summary(program, fn)
+        except Exception as exc:  # never let reporting break the CLI
+            print(f"{name}: {fn.name}: access analysis failed: {exc}")
+            continue
+        print(f"{name}: kernel {fn.name}:")
+        for pname, psum in summary.params.items():
+            if psum.affine:
+                affine_params += 1
+                print(f"  {pname} ({psum.space}, {psum.mode}): affine")
+                for fp in psum.footprints:
+                    guards = "; ".join(f"{g.format()} <= 0" for g in fp.guards)
+                    line = f"    {fp.mode} [{fp.index.format()}]"
+                    if guards:
+                        line += f" when {guards}"
+                    print(line)
+            else:
+                fallback_params += 1
+                print(f"  {pname} ({psum.space}, {psum.mode}): "
+                      f"fallback — {psum.fallback_reason}")
+    return affine_params, fallback_params
 
 
 def main(argv=None) -> int:
@@ -107,12 +147,16 @@ def main(argv=None) -> int:
     parser.add_argument("--lint", action="store_true",
                         help="run the lint pass (exit 1 on lint errors); on a "
                              ".py file, lint every embedded kernel string")
+    parser.add_argument("--access", action="store_true",
+                        help="print the affine access summary (SkelAccess) of "
+                             "every kernel: per-parameter footprints, guards, "
+                             "and the affine/fallback ratio")
     parser.add_argument("-D", dest="defines", action="append", default=[],
                         metavar="NAME[=VALUE]", help="preprocessor define")
     args = parser.parse_args(argv)
 
-    if args.lint and args.file.endswith(".py"):
-        return _lint_python_module(args.file)
+    if (args.lint or args.access) and args.file.endswith(".py"):
+        return _lint_python_module(args.file, show_access=args.access)
 
     if args.file == "-":
         source = sys.stdin.read()
@@ -133,13 +177,22 @@ def main(argv=None) -> int:
         sys.stderr.write(f"{exc}\n")
         return 1
 
-    if args.lint:
-        diagnostics = lint_program(program)
-        for diag in diagnostics:
-            sys.stderr.write(diag.render(program.source) + "\n")
-        errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
-        print(f"{name}: lint {'clean' if not diagnostics else f'{len(diagnostics)} finding(s), {errors} error(s)'}")
-        return 1 if errors else 0
+    if args.lint or args.access:
+        status = 0
+        if args.access:
+            affine_n, fallback_n = _print_access_summaries(program, name)
+            total = affine_n + fallback_n
+            if total:
+                print(f"{name}: access summaries: {affine_n}/{total} "
+                      f"pointer parameter(s) affine")
+        if args.lint:
+            diagnostics = lint_program(program)
+            for diag in diagnostics:
+                sys.stderr.write(diag.render(program.source) + "\n")
+            errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+            print(f"{name}: lint {'clean' if not diagnostics else f'{len(diagnostics)} finding(s), {errors} error(s)'}")
+            status = 1 if errors else 0
+        return status
 
     if args.ast:
         _dump_ast(program)

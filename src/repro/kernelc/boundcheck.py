@@ -99,10 +99,18 @@ class BoundsProof:
 
 
 class _Analyzer:
-    """Walks the customizing function, collecting get() offset intervals."""
+    """Walks the customizing function, collecting get() offset intervals.
 
-    def __init__(self, accessor_name: str = "get"):
+    When ``pointer_name`` is set, *direct* accesses through that pointer
+    parameter (``v[i]``, ``*v``, ``*(v + i)``) are collected too — a
+    customizing function is free to bypass the accessor, and a proof
+    that ignored those accesses could not justify shrinking the staged
+    halo."""
+
+    def __init__(self, accessor_name: str = "get",
+                 pointer_name: Optional[str] = None):
         self.accessor_name = accessor_name
+        self.pointer_name = pointer_name
         self.accesses: List[Tuple[Interval, ...]] = []
 
     # -- expression intervals ----------------------------------------------
@@ -153,6 +161,32 @@ class _Analyzer:
         if isinstance(node, ast.Call) and node.callee == self.accessor_name:
             offsets = tuple(self.eval(arg, env) for arg in node.args[1:])
             self.accesses.append(offsets)
+        elif self.pointer_name is not None:
+            offset = self._direct_pointer_offset(node, env)
+            if offset is not None:
+                self.accesses.append((offset,))
+
+    def _direct_pointer_offset(self, node: ast.Expr,
+                               env: _Env) -> Optional[Interval]:
+        """Offset interval of a direct access through the tracked
+        pointer parameter, or ``None`` when ``node`` is not one."""
+        name = self.pointer_name
+        if (isinstance(node, ast.Index)
+                and isinstance(node.base, ast.Identifier)
+                and node.base.name == name):
+            return self.eval(node.index, env)
+        if isinstance(node, ast.UnaryOp) and node.op == "*":
+            target = node.operand
+            while isinstance(target, ast.Cast):
+                target = target.operand
+            if isinstance(target, ast.Identifier) and target.name == name:
+                return Interval.const(0)
+            if (isinstance(target, ast.BinaryOp) and target.op in ("+", "-")
+                    and isinstance(target.left, ast.Identifier)
+                    and target.left.name == name):
+                delta = self.eval(target.right, env)
+                return -delta if target.op == "-" else delta
+        return None
 
     # -- statements ------------------------------------------------------------
 
@@ -296,8 +330,15 @@ IntervalEnv = _Env
 
 def analyze_get_bounds(function: ast.FunctionDef, overlap: int,
                        accessor_name: str = "get") -> BoundsProof:
-    """Try to prove all ``get`` offsets of ``function`` lie in [-d, d]."""
-    analyzer = _Analyzer(accessor_name)
+    """Try to prove all neighbourhood accesses of ``function`` — ``get``
+    offsets plus direct indexing through the pointer parameter — lie in
+    [-d, d]."""
+    from .ctypes_ import PointerType
+
+    pointer_name = None
+    if function.params and isinstance(function.params[0].declared_type, PointerType):
+        pointer_name = function.params[0].name
+    analyzer = _Analyzer(accessor_name, pointer_name)
     env = _Env()
     if function.body is not None:
         analyzer.exec_stmt(function.body, env)

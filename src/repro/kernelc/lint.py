@@ -16,11 +16,24 @@ barrier-divergence        warning   ``barrier()`` inside control flow whose cond
 constant-index-oob        error     an index into a fixed-size array is *provably*
                                     out of bounds (interval analysis, the same engine
                                     as ``boundcheck``)
+symbolic-oob              error     the affine access analysis (SkelAccess) finds a
+                                    *witness work-item* — guaranteed to exist for any
+                                    launch honouring ``reqd_work_group_size`` — whose
+                                    index into a fixed-size array is out of bounds
+                                    with every guard on the access satisfied
 unused-binding            warning   a parameter or local variable is never read
 write-to-constant         error     a store through ``__constant`` memory
 missing-return            warning   a non-void function may fall off the end
                                     without returning a value
+uncoalesced-access        warning   a store through a ``__global`` pointer whose
+                                    per-work-item stride along dimension 0 is >= 2
+                                    elements (or symbolic) — adjacent lanes hit
+                                    non-adjacent memory, wasting DRAM bursts
+strided-global-read       warning   the load-side twin of ``uncoalesced-access``
 ========================  ========  =================================================
+
+A finding can be acknowledged with a ``skelcl-lint: allow(<rule>)``
+comment on the diagnostic's line or the line above it.
 
 Entry points: :func:`lint_program` (library), ``python -m repro.kernelc
 --lint`` (CLI), and ``Program.build()`` which lints every build and
@@ -29,12 +42,16 @@ keeps the findings in ``Program.lint_diagnostics``.
 
 from __future__ import annotations
 
+import re
 from typing import List, Optional, Set
 
 from . import ast, boundcheck
 from .ctypes_ import ArrayType, PointerType
 from .diagnostics import Diagnostic, DiagnosticSink
 from .source import Span
+
+_ALLOW_RE = re.compile(r"skelcl-lint:\s*allow\(([a-z0-9-]+)\)")
+_RULE_RE = re.compile(r"\[([a-z0-9-]+)\]\s*$")
 
 # Builtins whose value differs between work-items: control flow keyed on
 # them is divergent.  get_group_id/get_num_groups/get_*_size are uniform
@@ -57,7 +74,33 @@ def lint_program(program: ast.Program,
         _check_unused_bindings(fn, sink)
         _check_write_to_constant(fn, sink)
         _check_missing_return(fn, sink)
+        if fn.is_kernel:
+            _check_access_footprints(program, fn, sink)
+    _apply_suppressions(program, sink, before)
     return sink.diagnostics[before:]
+
+
+def _apply_suppressions(program: ast.Program, sink: DiagnosticSink,
+                        before: int) -> None:
+    """Drop findings acknowledged by a ``skelcl-lint: allow(rule)``
+    comment on the same or the preceding source line."""
+    source = getattr(program, "source", None)
+    if source is None:
+        return
+
+    def allowed(diag: Diagnostic) -> bool:
+        rule = _RULE_RE.search(diag.message)
+        if rule is None or diag.span is None or diag.span.start.line <= 0:
+            return False
+        for line in (diag.span.start.line, diag.span.start.line - 1):
+            for m in _ALLOW_RE.finditer(source.line_text(line)):
+                if m.group(1) == rule.group(1):
+                    return True
+        return False
+
+    sink.diagnostics[before:] = [
+        d for d in sink.diagnostics[before:] if not allowed(d)
+    ]
 
 
 # -- rule: barrier-divergence ------------------------------------------------
@@ -271,3 +314,134 @@ def _check_missing_return(fn: ast.FunctionDef, sink: DiagnosticSink) -> None:
             f"without a return value [missing-return]",
             fn.span,
         )
+
+
+# -- rules: symbolic-oob / uncoalesced-access / strided-global-read ----------
+#
+# Both build on the SkelAccess affine summary (repro.analysis.affine):
+# symbolic-oob searches for a concrete *witness work-item* whose array
+# index provably escapes the bounds, uncoalesced-access/strided-global-
+# read look at the per-work-item stride of each __global footprint.
+
+#: Coalescing threshold: an element stride of +-1 (or 0, a broadcast)
+#: between lane-adjacent work-items coalesces into one DRAM burst;
+#: anything wider — or symbolic — splits the warp's accesses.
+_COALESCE_MAX_STRIDE = 1
+
+_MAX_WITNESS_SYMS = 6
+
+
+def _check_access_footprints(program: ast.Program, fn: ast.FunctionDef,
+                             sink: DiagnosticSink) -> None:
+    from ..analysis import affine
+
+    try:
+        summary = affine.cached_kernel_summary(program, fn)
+    except Exception:
+        return  # the lint pass must never break a build
+    _check_symbolic_oob(summary, sink)
+    _check_coalescing(summary, sink)
+
+
+def _witness_ranges(summary) -> dict:
+    """Variant-symbol ranges every conforming launch is guaranteed to
+    attain: work-item (0,..,0) always exists; with a
+    ``reqd_work_group_size`` attribute the whole first group does (the
+    NDRange API enforces that local sizes divide global sizes)."""
+    reqd = summary.reqd_wg or (1, 1, 1)
+    ranges = {}
+    for d in range(3):
+        limit = max(0, reqd[d] - 1)
+        ranges[("gid", d)] = (0, limit)
+        ranges[("lid", d)] = (0, limit)
+        ranges[("grp", d)] = (0, 0)
+    return ranges
+
+
+def _witness_uniforms(summary) -> dict:
+    uniforms = {}
+    reqd = summary.reqd_wg
+    if reqd is not None:
+        for d in range(3):
+            uniforms[("lsize", d)] = reqd[d]
+    return uniforms
+
+
+def _corners(ranges: dict, syms: list) -> list:
+    points = [{}]
+    for sym in syms:
+        lo, hi = ranges[sym]
+        values = (lo,) if lo == hi else (lo, hi)
+        points = [{**p, sym: v} for p in points for v in values]
+    return points
+
+
+def _check_symbolic_oob(summary, sink: DiagnosticSink) -> None:
+    from ..analysis import affine
+
+    env = affine.EvalEnv(_witness_uniforms(summary), _witness_ranges(summary))
+    reported: Set[int] = set()
+    for site in summary.array_sites:
+        if site.index is None or id(site.span) in reported:
+            continue
+        try:
+            base, coeffs = affine._concrete(site.index, env)
+            guards = [affine._concrete(g, env) for g in site.guards]
+        except KeyError:
+            continue  # references a scalar parameter: not definite
+        if not coeffs:
+            continue  # constant index: constant-index-oob's territory
+        syms = sorted(set(coeffs) | {s for _b, gc in guards for s in gc})
+        if len(syms) > _MAX_WITNESS_SYMS or any(
+                s not in env.ranges and s[0] != "iv" for s in syms):
+            continue
+        ranges = {s: (0, 0) if s[0] == "iv" else env.ranges[s] for s in syms}
+        narrowed = affine.narrow_ranges(guards, ranges)
+        if narrowed is None:
+            continue  # guards infeasible over the witness domain
+        for point in _corners(narrowed, syms):
+            if any(gb + sum(gc.get(s, 0) * v for s, v in point.items()) > 0
+                   for gb, gc in guards):
+                continue
+            index = base + sum(coeffs.get(s, 0) * v for s, v in point.items())
+            if index < 0 or index >= site.length:
+                reported.add(id(site.span))
+                witness = ", ".join(
+                    f"{affine._format_sym(s)}={v}" for s, v in point.items())
+                sink.error(
+                    f"index {site.index.format()} = {index} is out of "
+                    f"bounds for array '{site.name}' of length "
+                    f"{site.length} at {witness or 'any work-item'} "
+                    f"[symbolic-oob]",
+                    site.span,
+                )
+                break
+
+
+def _check_coalescing(summary, sink: DiagnosticSink) -> None:
+    seen: Set[tuple] = set()
+    for psum in summary.params.values():
+        if not psum.affine or psum.space != "global":
+            continue
+        for fp in psum.footprints:
+            stride = fp.warp_stride()
+            if stride is not None and abs(stride) <= _COALESCE_MAX_STRIDE:
+                continue
+            has_variant = bool(fp.index.terms)
+            if not has_variant:
+                continue  # uniform broadcast: served by one transaction
+            rule = ("uncoalesced-access" if fp.mode == "w"
+                    else "strided-global-read")
+            key = (rule, fp.param, id(fp.span))
+            if key in seen:
+                continue
+            seen.add(key)
+            shown = "symbolic" if stride is None else str(stride)
+            verb = "store to" if fp.mode == "w" else "load from"
+            sink.warning(
+                f"{verb} __global '{fp.param}' has per-work-item stride "
+                f"{shown} elements along dimension 0 — adjacent work-items "
+                f"touch non-adjacent memory, splitting the DRAM burst "
+                f"[{rule}]",
+                fp.span,
+            )

@@ -24,7 +24,12 @@ class KernelFault(Exception):
 
 @dataclass
 class MemoryCounters:
-    """Counts of memory traffic during a kernel execution."""
+    """Counts of memory traffic during a kernel execution.
+
+    When ``trace`` is a list, every successful load/store additionally
+    appends ``(array_id, address_space, byte_start, nbytes, 'r'|'w')``
+    — the concrete memory trace the SkelAccess differential harness
+    compares against the affine footprints (``None`` costs nothing)."""
 
     global_loads: int = 0
     global_stores: int = 0
@@ -32,6 +37,7 @@ class MemoryCounters:
     local_loads: int = 0
     local_stores: int = 0
     local_bytes: int = 0
+    trace: Optional[list] = None
 
     def reset(self) -> None:
         self.global_loads = 0
@@ -159,9 +165,17 @@ class Pointer:
                 counters.local_loads += 1
             counters.local_bytes += nbytes
 
+    def _trace(self, where: int, is_store: bool) -> None:
+        trace = self.counters.trace
+        if trace is not None:
+            nbytes = self.element_type.sizeof()
+            trace.append((id(self.array), self.address_space,
+                          where * nbytes, nbytes, "w" if is_store else "r"))
+
     def load(self, index: int = 0):
         where = self._element_index(index)
         self._charge(is_store=False)
+        self._trace(where, is_store=False)
         if isinstance(self.element_type, VectorType):
             width = self.element_type.width
             chunk = self.array[where * width : where * width + width]
@@ -171,6 +185,7 @@ class Pointer:
     def store(self, index: int, value) -> None:
         where = self._element_index(index)
         self._charge(is_store=True)
+        self._trace(where, is_store=True)
         if isinstance(self.element_type, VectorType):
             width = self.element_type.width
             if not isinstance(value, VecValue):

@@ -251,7 +251,7 @@ class CommandQueue:
             groups_total=result.groups_total,
             groups_executed=result.groups_executed,
         )
-        event.accesses = kernel_buffer_accesses(kernel)
+        event.accesses = kernel_buffer_accesses(kernel, ndrange, self._metrics)
         # Sampled-execution taint: a sampled launch leaves its outputs
         # partially written, and a kernel consuming tainted data spreads
         # the taint to everything it writes.

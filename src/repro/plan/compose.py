@@ -82,6 +82,70 @@ def _chain_expr(stages: Sequence[Map], parts: List[str], params: List[str],
 _MAP_CACHE: Dict[tuple, Map] = {}
 _ZIP_CACHE: Dict[tuple, Zip] = {}
 _PREMAP_CACHE: Dict[tuple, "Premap"] = {}
+_FOOTPRINT_CACHE: Dict[str, bool] = {}
+
+# The access pattern fusion relies on, per generated-kernel parameter:
+# reads at ``gid0 + <offset param>`` (the runtime-managed chunk offset),
+# writes at exactly ``gid0``.  Anything else — a shifted read like
+# ``SCL_IN[SCL_ID + SCL_OFFSET + 1]``, a strided store, a second write
+# site — breaks the elementwise contract ``fused(i) == eager(i)``.
+_MAP_FOOTPRINT_SPEC = {"SCL_IN": ("r", "SCL_OFFSET"), "SCL_OUT": ("w", None)}
+_ZIP_FOOTPRINT_SPEC = {
+    "SCL_LEFT": ("r", "SCL_LEFT_OFFSET"),
+    "SCL_RIGHT": ("r", "SCL_RIGHT_OFFSET"),
+    "SCL_OUT": ("w", None),
+}
+
+
+def _elementwise_key(offset_param):
+    from ..analysis.affine import AffineForm, UExpr
+
+    base = (UExpr.sym(("param", offset_param)) if offset_param
+            else UExpr.const(0))
+    return AffineForm(base, {("gid", 0): UExpr.const(1)}).key()
+
+
+def _footprints_ok(source: str, spec: Dict[str, tuple]) -> bool:
+    from ..analysis import affine
+    from ..kernelc.frontend import compile_source
+
+    try:
+        program = compile_source(source, "<fusion legality>")
+        kernels = program.kernels()
+        if len(kernels) != 1:
+            return False
+        summary = affine.summarize_kernel(program, kernels[0])
+    except Exception:
+        return False
+    for name, psum in summary.params.items():
+        expected = spec.get(name)
+        if expected is None or not psum.affine:
+            return False
+        mode, offset_param = expected
+        want = _elementwise_key(offset_param)
+        for fp in psum.footprints:
+            if fp.mode != mode or fp.index.key() != want:
+                return False
+    return True
+
+
+def footprints_fusable(skeleton) -> bool:
+    """Footprint legality gate for fusion: the skeleton's generated
+    kernel must *prove* (via its SkelAccess summary) that it touches
+    global memory in the elementwise pattern fusion assumes.  A shape
+    check alone would accept any Map/Zip subclass; this rejects ones
+    whose kernel source deviates.  Memoized on the kernel source."""
+    spec = (_ZIP_FOOTPRINT_SPEC if isinstance(skeleton, Zip)
+            else _MAP_FOOTPRINT_SPEC)
+    try:
+        source = skeleton.kernel_source()
+    except Exception:
+        return False
+    cached = _FOOTPRINT_CACHE.get(source)
+    if cached is None:
+        cached = _footprints_ok(source, spec)
+        _FOOTPRINT_CACHE[source] = cached
+    return cached
 
 
 def _map_key(stages: Sequence[Map]) -> tuple:

@@ -118,8 +118,11 @@ class Planner:
         out = self._like(input_container, skeleton.result_dtype(skeleton.out_type))
         run = lambda: skeleton._execute(input_container, extra_args, out=out,
                                         label=label)
+        fusable = compose.footprints_fusable(skeleton)
+        if not fusable:
+            self._count("skelcl_plan_fallback_total", reason="footprint")
         self._record("map", skeleton, [input_container], out, run,
-                     fusable=True, label=label, extras=tuple(extra_args))
+                     fusable=fusable, label=label, extras=tuple(extra_args))
         return out
 
     def defer_zip(self, skeleton, left, right, extra_args,
@@ -140,8 +143,11 @@ class Planner:
         out = self._like(left, skeleton.result_dtype(skeleton.out_type))
         run = lambda: skeleton._execute(left, right, extra_args, out=out,
                                         label=label)
+        fusable = compose.footprints_fusable(skeleton)
+        if not fusable:
+            self._count("skelcl_plan_fallback_total", reason="footprint")
         self._record("zip", skeleton, [left, right], out, run,
-                     fusable=True, label=label, extras=tuple(extra_args))
+                     fusable=fusable, label=label, extras=tuple(extra_args))
         return out
 
     def defer_opaque(self, op: str, skeleton, inputs: Sequence, output, run,

@@ -55,6 +55,10 @@ __kernel void skelcl_allpairs(__global const {t}* SCL_A,
         for (unsigned int SCL_K = 0; SCL_K < SCL_D; ++SCL_K) {{
             SCL_ACC = SCL_RED_F(SCL_ACC,
                                 SCL_ZIP_F(SCL_A[SCL_ROW * SCL_D + SCL_K],
+                                          /* generic variant: the tiled
+                                             kernel below is the coalesced
+                                             path.
+                                             skelcl-lint: allow(strided-global-read) */
                                           SCL_B[SCL_COL * SCL_D + SCL_K]));
         }}
         SCL_C[SCL_ROW * SCL_M + SCL_COL] = SCL_ACC;

@@ -79,6 +79,7 @@ _VECTOR_TEMPLATE = """\
 
 {user_source}
 
+__attribute__((reqd_work_group_size({wg}, 1, 1)))
 __kernel void skelcl_mapoverlap_v(__global const {t}* SCL_IN,
                                   __global {u}* SCL_OUT,
                                   const unsigned int SCL_OWNED,
@@ -142,6 +143,7 @@ _MATRIX_TEMPLATE = """\
 
 {user_source}
 
+__attribute__((reqd_work_group_size({wg}, {wg}, 1)))
 __kernel void skelcl_mapoverlap_m(__global const {t}* SCL_IN,
                                   __global {u}* SCL_OUT,
                                   const int SCL_W,
@@ -246,6 +248,26 @@ class MapOverlap(Skeleton):
         self.bounds_proof = analyze_get_bounds(self.user.definition, overlap)
         self.checks_elided = static_bounds and self.bounds_proof.proven
 
+    @property
+    def effective_overlap(self) -> int:
+        """The halo width actually staged and transferred.
+
+        When the bounds proof pins every ``get`` offset inside a reach
+        smaller than the declared overlap, the tile halo and the overlap
+        distribution shrink to the proven reach — halo bytes beyond it
+        are never read, so they are never shipped (footprint-driven
+        transfers; the saving is counted in
+        ``skelcl_transfer_bytes_saved_total``)."""
+        if not self.checks_elided:
+            return self.overlap
+        reach = 0
+        for intervals in self.bounds_proof.accesses:
+            for interval in intervals:
+                if interval.is_top:
+                    return self.overlap
+                reach = max(reach, int(max(abs(interval.lo), abs(interval.hi))))
+        return min(reach, self.overlap)
+
     # -- code generation ------------------------------------------------------
 
     def _neutral_literal(self) -> str:
@@ -268,7 +290,7 @@ class MapOverlap(Skeleton):
             load_body=load_body,
             user_source=self.user.source,
             func=self.user.name,
-            d=self.overlap,
+            d=self.effective_overlap,
             wg=_VEC_WG,
         )
 
@@ -290,7 +312,7 @@ class MapOverlap(Skeleton):
             load_body=load_body,
             user_source=user,
             func=self.user.name,
-            d=self.overlap,
+            d=self.effective_overlap,
             wg=_MAT_WG,
         )
 
@@ -298,14 +320,31 @@ class MapOverlap(Skeleton):
 
     def _resolve_distribution(self, container) -> Distribution:
         current = container.distribution
+        halo = self.effective_overlap
         if isinstance(current, (Single, Copy)):
             return current  # whole data present: no halo needed
-        if isinstance(current, Overlap) and current.overlap >= self.overlap:
+        if isinstance(current, Overlap) and current.overlap >= halo:
             return partitioned(current)
         # A block-distributed input keeps its (possibly uneven) split;
         # the halo is grown around the same owned ranges.
         carried = current.partition if isinstance(current, (Block, Overlap)) else None
-        return partitioned(Overlap(self.overlap, carried))
+        return partitioned(Overlap(halo, carried))
+
+    def _count_halo_savings(self, chunks, total: int, row_bytes: int) -> None:
+        """Credit ``skelcl_transfer_bytes_saved_total`` with the halo
+        rows/elements the proven reach let us *not* ship, relative to
+        the declared overlap (``row_bytes`` is the size of one halo
+        unit: an element for vectors, a row for matrices)."""
+        saved_units = 0
+        for chunk, _buffer in chunks:
+            full_before = min(self.overlap, chunk.owned_start)
+            full_after = min(self.overlap, total - chunk.owned_end)
+            saved_units += max(0, full_before - chunk.halo_before)
+            saved_units += max(0, full_after - chunk.halo_after)
+        if saved_units:
+            get_runtime().metrics.counter(
+                "skelcl_transfer_bytes_saved_total"
+            ).inc(saved_units * row_bytes)
 
     # -- execution -------------------------------------------------------------------
 
@@ -348,6 +387,8 @@ class MapOverlap(Skeleton):
     def _call_vector(self, vector: Vector, out: Optional[Vector]):
         distribution = self._resolve_distribution(vector)
         chunks = vector.ensure_on_devices(distribution)
+        if distribution.kind == "overlap" and self.effective_overlap < self.overlap:
+            self._count_halo_savings(chunks, vector.size, vector.dtype.itemsize)
         out_dtype = dtype_for_ctype(self.out_type)
         if out is None:
             out = Vector(vector.size, dtype=out_dtype)
@@ -376,6 +417,9 @@ class MapOverlap(Skeleton):
     def _call_matrix(self, matrix: Matrix, out: Optional[Matrix]):
         distribution = self._resolve_distribution(matrix)
         chunks = matrix.ensure_on_devices(distribution)
+        if distribution.kind == "overlap" and self.effective_overlap < self.overlap:
+            self._count_halo_savings(chunks, matrix.rows,
+                                     matrix.cols * matrix.dtype.itemsize)
         out_dtype = dtype_for_ctype(self.out_type)
         if out is None:
             out = Matrix(matrix.shape, dtype=out_dtype)

@@ -1,0 +1,98 @@
+"""Acceptance gate: on the in-repo kernel corpus (instantiated skeleton
+templates plus the ported vendor baselines), at least 80% of
+``__global``/``__constant`` pointer parameters get an affine summary —
+the precision SkelSan, the lint rules and the planner gate all feed on.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.analysis import affine
+from repro.kernelc.frontend import compile_source
+from repro.skelcl.allpairs import AllPairs
+from repro.skelcl.map import Map
+from repro.skelcl.mapoverlap import MapOverlap
+from repro.skelcl.reduce import Reduce
+from repro.skelcl.scan import Scan
+from repro.skelcl.zip import Zip
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def skeleton_sources():
+    """Representative generated kernels, one per skeleton family."""
+    yield Map("float func(float x) { return 2.0f * x; }").kernel_source()
+    yield Zip("float func(float x, float y) { return x + y; }").kernel_source()
+    blur = MapOverlap(
+        "float func(float* v) { return get(v, -1) + get(v, 0) + get(v, 1); }",
+        1)
+    yield blur.vector_source()
+    stencil = MapOverlap(
+        "float func(float* m) {"
+        " return get(m, -1, 0) + get(m, 1, 0) + get(m, 0, -1) + get(m, 0, 1); }",
+        1)
+    yield stencil.matrix_source()
+    yield Reduce("float func(float x, float y) { return x + y; }",
+                 "0").kernel_source()
+    yield Scan("float func(float x, float y) { return x + y; }",
+               "0").kernel_source()
+    pairs = AllPairs(
+        reduce=Reduce("float func(float x, float y) { return x + y; }", "0"),
+        zip=Zip("float func(float x, float y) { return x * y; }"))
+    yield pairs.kernel_source()
+
+
+def baseline_sources():
+    from repro.kernelc.__main__ import _extract_kernel_strings
+
+    for path in sorted(glob.glob(os.path.join(
+            REPO, "src", "repro", "baselines", "*.py"))):
+        for _line, text in _extract_kernel_strings(path):
+            yield text
+
+
+def count_params(source):
+    """(affine, fallback) pointer-parameter counts over every kernel."""
+    program = compile_source(source, "<corpus>")
+    affine_n = fallback_n = 0
+    for fn in program.kernels():
+        summary = affine.summarize_kernel(program, fn)
+        for psum in summary.params.values():
+            if psum.affine:
+                affine_n += 1
+            else:
+                fallback_n += 1
+    return affine_n, fallback_n
+
+
+def test_corpus_mostly_affine():
+    affine_n = fallback_n = 0
+    sources = list(skeleton_sources()) + list(baseline_sources())
+    assert len(sources) >= 8, "corpus unexpectedly small"
+    for source in sources:
+        try:
+            a, f = count_params(source)
+        except Exception:
+            continue  # templated fragments that need runtime substitution
+        affine_n += a
+        fallback_n += f
+    total = affine_n + fallback_n
+    assert total >= 10, f"too few summarized parameters ({total})"
+    ratio = affine_n / total
+    assert ratio >= 0.8, (
+        f"only {affine_n}/{total} ({ratio:.0%}) of global pointer "
+        f"parameters were summarized as affine"
+    )
+
+
+def test_skeleton_map_zip_fully_affine():
+    """The planner's fusion gate depends on Map/Zip being exactly
+    affine — pin that stronger property separately."""
+    for source in (
+        Map("float func(float x) { return -x; }").kernel_source(),
+        Zip("float func(float x, float y) { return x * y; }").kernel_source(),
+    ):
+        a, f = count_params(source)
+        assert f == 0 and a > 0

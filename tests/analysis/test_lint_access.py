@@ -1,0 +1,193 @@
+"""The SkelAccess-backed lint rules: ``symbolic-oob`` (witness-based
+out-of-bounds proof), ``uncoalesced-access`` / ``strided-global-read``
+(memory-layout hints), and the ``skelcl-lint: allow(...)`` suppression
+comments.  The seeded-bug test mirrors the acceptance criterion: an
+off-by-one MapOverlap tile that constant-interval bound checking cannot
+catch (the index depends on get_local_id) must be flagged."""
+
+import pytest
+
+from repro.kernelc.diagnostics import Severity
+from repro.kernelc.frontend import compile_source
+from repro.kernelc.lint import lint_program
+from repro.skelcl.mapoverlap import MapOverlap
+
+
+def lint(source):
+    program = compile_source(source, "<test>")
+    return lint_program(program)
+
+
+def messages(diagnostics, rule):
+    return [d for d in diagnostics if f"[{rule}]" in d.message]
+
+
+class TestSymbolicOob:
+    def test_seeded_mapoverlap_tile_off_by_one_is_caught(self):
+        blur = MapOverlap(
+            "float func(float* v) { return v[-1] + v[0] + v[1]; }", 1)
+        good = blur.vector_source()
+        assert not messages(lint(good), "symbolic-oob")
+        # Seed the bug: tile one element short of the halo staging loop's
+        # reach.  An interval analysis sees only `index <= 256 + lid`
+        # with unknown lid; the reqd_work_group_size attribute makes
+        # lid=1 a guaranteed witness.
+        seeded = good.replace("__local float SCL_TILE[256 + 2 * 1];",
+                              "__local float SCL_TILE[256 + 2 * 1 - 1];")
+        assert seeded != good
+        found = messages(lint(seeded), "symbolic-oob")
+        assert found, "seeded off-by-one tile not reported"
+        assert found[0].severity is Severity.ERROR
+        assert "SCL_TILE" in found[0].message
+        assert "257" in found[0].message  # the witness index
+
+    def test_plain_kernel_witness(self):
+        diagnostics = lint("""
+            __attribute__((reqd_work_group_size(32, 1, 1)))
+            __kernel void k(__global float* out) {
+                __local float tile[32];
+                int lid = get_local_id(0);
+                tile[lid + 1] = 0.0f;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                out[get_global_id(0)] = tile[lid];
+            }""")
+        found = messages(diagnostics, "symbolic-oob")
+        assert found and "32" in found[0].message
+
+    def test_guarded_access_is_clean(self):
+        diagnostics = lint("""
+            __attribute__((reqd_work_group_size(32, 1, 1)))
+            __kernel void k(__global float* out) {
+                __local float tile[32];
+                int lid = get_local_id(0);
+                if (lid + 1 < 32) tile[lid + 1] = 0.0f;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                out[get_global_id(0)] = tile[lid];
+            }""")
+        assert not messages(diagnostics, "symbolic-oob")
+
+    def test_without_reqd_attribute_no_definite_witness(self):
+        # Only work-item 0 is guaranteed; tile[lid + 1] = tile[1] is in
+        # bounds, so no *definite* report without the attribute.
+        diagnostics = lint("""
+            __kernel void k(__global float* out) {
+                __local float tile[32];
+                int lid = get_local_id(0);
+                tile[lid + 1] = 0.0f;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                out[get_global_id(0)] = tile[lid];
+            }""")
+        assert not messages(diagnostics, "symbolic-oob")
+
+
+class TestCoalescing:
+    STRIDED = """
+        __kernel void k(__global float* out, __global const float* in, int n) {
+            int i = get_global_id(0);
+            if (i < n) out[2 * i] = in[2 * i + 1];
+        }"""
+
+    def test_strided_store_and_load_warn(self):
+        diagnostics = lint(self.STRIDED)
+        assert messages(diagnostics, "uncoalesced-access")
+        assert messages(diagnostics, "strided-global-read")
+        assert all(d.severity is Severity.WARNING for d in diagnostics)
+
+    def test_unit_stride_and_uniform_broadcast_are_silent(self):
+        diagnostics = lint("""
+            __kernel void k(__global float* out, __global const float* in,
+                            int n) {
+                int i = get_global_id(0);
+                if (i < n) out[i] = in[i] + in[0];
+            }""")
+        assert not messages(diagnostics, "uncoalesced-access")
+        assert not messages(diagnostics, "strided-global-read")
+
+    def test_column_major_matrix_walk_warns(self):
+        diagnostics = lint("""
+            __kernel void k(__global float* out, int w, int h) {
+                int i = get_global_id(0);
+                for (int r = 0; r < h; ++r) {
+                    out[i * h + r] = 0.0f;  /* row-major transpose walk */
+                }
+            }""")
+        assert messages(diagnostics, "uncoalesced-access")
+
+    def test_allow_comment_suppresses(self):
+        diagnostics = lint("""
+            __kernel void k(__global float* out, __global const float* in,
+                            int n) {
+                int i = get_global_id(0);
+                /* skelcl-lint: allow(uncoalesced-access) */
+                if (i < n) out[2 * i] = in[i];
+            }""")
+        assert not messages(diagnostics, "uncoalesced-access")
+
+    def test_allow_comment_is_rule_specific(self):
+        diagnostics = lint("""
+            __kernel void k(__global float* out, __global const float* in,
+                            int n) {
+                int i = get_global_id(0);
+                /* skelcl-lint: allow(strided-global-read) */
+                if (i < n) out[2 * i] = in[2 * i];
+            }""")
+        assert messages(diagnostics, "uncoalesced-access")
+        assert not messages(diagnostics, "strided-global-read")
+
+
+class TestBuildIntegration:
+    def test_strict_mode_fails_build_on_symbolic_oob(self, monkeypatch):
+        monkeypatch.setenv("SKELCL_SANITIZE", "strict")
+        from repro import ocl
+        from repro.ocl.program import BuildError
+
+        context = ocl.Context.create(ocl.TEST_DEVICE, 1)
+        try:
+            program = context.create_program("""
+                __attribute__((reqd_work_group_size(16, 1, 1)))
+                __kernel void bad(__global float* out) {
+                    __local float tile[16];
+                    tile[get_local_id(0) + 1] = 0.0f;
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                    out[get_global_id(0)] = tile[0];
+                }""")
+            with pytest.raises(BuildError) as excinfo:
+                program.build()
+            assert "symbolic-oob" in str(excinfo.value)
+        finally:
+            context.release()
+
+
+class TestCli:
+    def test_access_flag_prints_footprints(self, tmp_path, capsys):
+        from repro.kernelc.__main__ import main
+
+        path = tmp_path / "k.cl"
+        path.write_text("""
+__kernel void k(__global const float* in, __global float* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) out[i] = in[i];
+}
+""")
+        assert main([str(path), "--access"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel k" in out
+        assert "2/2 pointer parameter(s) affine" in out
+
+    def test_access_composes_with_lint_exit_code(self, tmp_path, capsys):
+        from repro.kernelc.__main__ import main
+
+        path = tmp_path / "bad.cl"
+        path.write_text("""
+__attribute__((reqd_work_group_size(8, 1, 1)))
+__kernel void bad(__global float* out) {
+    __local float tile[8];
+    tile[get_local_id(0) + 1] = 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = tile[0];
+}
+""")
+        assert main([str(path), "--access", "--lint"]) == 1
+        captured = capsys.readouterr()
+        assert "symbolic-oob" in captured.err
+        assert "kernel bad" in captured.out

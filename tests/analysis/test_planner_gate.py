@@ -1,0 +1,79 @@
+"""The planner's footprint legality gate: fusion is only attempted for
+skeletons whose generated kernel *proves* the elementwise access
+pattern.  A subclass that shape-checks identically but shifts its read
+index must be planned unfused (and still compute its own semantics
+correctly)."""
+
+import numpy as np
+import pytest
+
+from repro import ocl
+import repro.skelcl as skelcl
+from repro.plan import compose
+from repro.skelcl import Map, Vector, Zip
+
+
+class ShiftedMap(Map):
+    """Same Python-level shape as Map, but the kernel reads in[i+1]
+    (clamped at the end): NOT elementwise, so fusing it into a chain
+    would be wrong."""
+
+    def kernel_source(self):
+        return super().kernel_source().replace(
+            "SCL_IN[SCL_ID + SCL_OFFSET]",
+            "SCL_IN[SCL_ID + 1 < SCL_N ? SCL_ID + SCL_OFFSET + 1"
+            " : SCL_ID + SCL_OFFSET]")
+
+
+@pytest.fixture
+def lazy_runtime():
+    runtime = skelcl.init(num_devices=1, spec=ocl.TEST_DEVICE, lazy=True)
+    yield runtime
+    runtime.close()
+
+
+class TestGate:
+    def test_real_map_and_zip_pass(self):
+        assert compose.footprints_fusable(
+            Map("float func(float x) { return -x; }"))
+        assert compose.footprints_fusable(
+            Zip("float func(float x, float y) { return x + y; }"))
+
+    def test_shifted_read_rejected(self):
+        assert not compose.footprints_fusable(
+            ShiftedMap("float func(float x) { return -x; }"))
+
+    def test_gate_is_memoized_on_source(self):
+        m = Map("float func(float x) { return x + 1.0f; }")
+        key = m.kernel_source()
+        compose.footprints_fusable(m)
+        assert key in compose._FOOTPRINT_CACHE
+
+
+class TestPlannedExecution:
+    def test_fusable_chain_still_fuses(self, lazy_runtime):
+        double = Map("float func(float x) { return 2.0f * x; }")
+        inc = Map("float func(float x) { return x + 1.0f; }")
+        data = np.arange(256, dtype=np.float32)
+        result = inc(double(Vector(data=data))).to_numpy()
+        np.testing.assert_allclose(result, 2.0 * data + 1.0, rtol=1e-6)
+        snapshot = lazy_runtime.metrics_snapshot()
+        fused = snapshot["counters"].get("skelcl_plan_fused_total", {})
+        elided = snapshot["counters"].get("skelcl_plan_elided_total", {})
+        assert sum(fused.values()) + sum(elided.values()) >= 1
+
+    def test_footprint_rejected_chain_runs_unfused_and_correct(
+            self, lazy_runtime):
+        shifted = ShiftedMap("float func(float x) { return x; }")
+        inc = Map("float func(float x) { return x + 1.0f; }")
+        data = np.arange(256, dtype=np.float32)
+        result = inc(shifted(Vector(data=data))).to_numpy()
+        # Eager semantics of the shifted kernel: element i reads i+1,
+        # clamped at the end.
+        expected = np.concatenate([data[1:], data[-1:]]) + 1.0
+        np.testing.assert_allclose(result, expected, rtol=1e-6)
+        snapshot = lazy_runtime.metrics_snapshot()
+        fallback = snapshot["counters"].get("skelcl_plan_fallback_total", {})
+        assert fallback.get("{reason=footprint}", 0) >= 1
+        assert sum(snapshot["counters"].get(
+            "skelcl_plan_fused_total", {}).values()) == 0
