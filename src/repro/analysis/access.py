@@ -110,12 +110,14 @@ def _residue_disjoint(a: BufferAccess, b: BufferAccess) -> bool:
     if g <= 1:
         return False
     # a touches [a.start + i*a.stride, +a.width); b likewise.  Modulo g
-    # both progressions are fixed windows; they intersect iff some
-    # delta ≡ (a.start - b.start) (mod g) lies in (-b.width, a.width).
+    # both progressions are fixed windows; they share a byte iff
+    # a.start+u ≡ b.start+v (mod g) for some u in [0, a.width) and
+    # v in [0, b.width), i.e. some delta ≡ (a.start - b.start) (mod g)
+    # equals v-u and so lies in (-a.width, b.width).
     d0 = (a.start - b.start) % g
-    lo = -b.width + 1
+    lo = -a.width + 1
     delta = lo + ((d0 - lo) % g)
-    return delta >= a.width
+    return delta >= b.width
 
 
 # -- kernel pointer-parameter access modes ----------------------------------

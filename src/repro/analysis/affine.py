@@ -923,7 +923,12 @@ class _Scanner:
         try:
             self.exec_stmt(callee.body, callee_env, callee_ptrs)
         finally:
-            collected, _depth = self._returns_stack.pop()
+            collected, depth = self._returns_stack.pop()
+            # Early returns in the callee (`if (c) return x;`) guard the
+            # *callee's* remaining statements by extending self.guards;
+            # those guards must not outlive the call, or the caller's
+            # subsequent accesses would be narrowed by them.
+            del self.guards[depth:]
             self._call_stack.pop()
         is_int = (getattr(expr, "ctype", None) is not None
                   and expr.ctype.is_integer())

@@ -112,6 +112,12 @@ class _Analyzer:
         self.accessor_name = accessor_name
         self.pointer_name = pointer_name
         self.accesses: List[Tuple[Interval, ...]] = []
+        # Identifier nodes (by id) consumed by a recognized access
+        # pattern; any *other* occurrence of the tracked pointer —
+        # copied into a local, passed to a helper, address arithmetic
+        # we don't model — escapes the analysis and poisons the proof.
+        self._sanctioned: set = set()
+        self.pointer_escaped = False
 
     # -- expression intervals ----------------------------------------------
 
@@ -159,12 +165,28 @@ class _Analyzer:
         rule) override it to inspect other node kinds with the same
         flow-sensitive intervals."""
         if isinstance(node, ast.Call) and node.callee == self.accessor_name:
+            if node.args:
+                self._sanction(node.args[0])
             offsets = tuple(self.eval(arg, env) for arg in node.args[1:])
             self.accesses.append(offsets)
         elif self.pointer_name is not None:
             offset = self._direct_pointer_offset(node, env)
             if offset is not None:
                 self.accesses.append((offset,))
+            elif (isinstance(node, ast.Identifier)
+                    and node.name == self.pointer_name
+                    and id(node) not in self._sanctioned):
+                # The walk is pre-order, so a recognized pattern
+                # sanctions its identifier before the identifier itself
+                # is visited; an unsanctioned occurrence means the
+                # pointer is used in a way this analysis cannot see.
+                self.pointer_escaped = True
+
+    def _sanction(self, node: ast.Expr) -> None:
+        while isinstance(node, ast.Cast):
+            node = node.operand
+        if isinstance(node, ast.Identifier):
+            self._sanctioned.add(id(node))
 
     def _direct_pointer_offset(self, node: ast.Expr,
                                env: _Env) -> Optional[Interval]:
@@ -174,17 +196,20 @@ class _Analyzer:
         if (isinstance(node, ast.Index)
                 and isinstance(node.base, ast.Identifier)
                 and node.base.name == name):
+            self._sanctioned.add(id(node.base))
             return self.eval(node.index, env)
         if isinstance(node, ast.UnaryOp) and node.op == "*":
             target = node.operand
             while isinstance(target, ast.Cast):
                 target = target.operand
             if isinstance(target, ast.Identifier) and target.name == name:
+                self._sanctioned.add(id(target))
                 return Interval.const(0)
             if (isinstance(target, ast.BinaryOp) and target.op in ("+", "-")
                     and isinstance(target.left, ast.Identifier)
                     and target.left.name == name):
                 delta = self.eval(target.right, env)
+                self._sanctioned.add(id(target.left))
                 return -delta if target.op == "-" else delta
         return None
 
@@ -342,6 +367,17 @@ def analyze_get_bounds(function: ast.FunctionDef, overlap: int,
     env = _Env()
     if function.body is not None:
         analyzer.exec_stmt(function.body, env)
+    if analyzer.pointer_escaped:
+        # The pointer was copied, passed to a helper, or otherwise used
+        # outside the recognized access patterns; accesses through the
+        # alias are invisible, so the proof cannot justify eliding
+        # checks or shrinking the staged halo.
+        return BoundsProof(
+            False,
+            analyzer.accesses,
+            f"pointer parameter {pointer_name!r} escapes the tracked "
+            f"access patterns",
+        )
     if not analyzer.accesses:
         return BoundsProof(True, [], "no get() accesses")
     for offsets in analyzer.accesses:

@@ -395,6 +395,15 @@ def _check_symbolic_oob(summary, sink: DiagnosticSink) -> None:
         if len(syms) > _MAX_WITNESS_SYMS or any(
                 s not in env.ranges and s[0] != "iv" for s in syms):
             continue
+        # An induction symbol is pinned to iteration 0 below, which
+        # presumes the loop body executes at least once.  That is only
+        # justified when some captured guard constrains the symbol (an
+        # affine loop condition); a guard-free iv comes from a loop the
+        # analysis could not model, which may run zero times — no
+        # definite witness exists there.
+        guarded = {s for _b, gc in guards for s in gc}
+        if any(s[0] == "iv" and s not in guarded for s in coeffs):
+            continue
         ranges = {s: (0, 0) if s[0] == "iv" else env.ranges[s] for s in syms}
         narrowed = affine.narrow_ranges(guards, ranges)
         if narrowed is None:

@@ -63,6 +63,28 @@ class TestSummaries:
         (read,) = summary.params["in"].footprints
         assert read.index.format() == "get_global_id(0) + 1"
 
+    def test_callee_early_return_guard_does_not_leak_into_caller(self):
+        # `f` early-returns under i >= n; the negated guard (i < n)
+        # covers only the callee's remaining statements.  The caller's
+        # unconditional out[i] write must not inherit it, or the write
+        # footprint under-approximates and races go unreported.
+        summary = summarize("""
+            int f(int i, int n) {
+                if (i >= n) return 0;
+                return i;
+            }
+            __kernel void k(__global int* out, unsigned int n) {
+                int i = get_global_id(0);
+                int t = f(i, n);
+                out[i] = t;
+            }""")
+        (write,) = summary.params["out"].footprints
+        assert not write.guards
+        env = affine.make_eval_env((16,), (4,), {"n": 4})
+        resolved = affine.resolve_footprint(write, env, 4, 16 * 4)
+        # All 16 work-items write, regardless of the callee's guard.
+        assert (resolved.start, resolved.stop) == (0, 16 * 4)
+
     def test_reqd_work_group_size_attribute_parsed(self):
         summary = summarize("""
             __attribute__((reqd_work_group_size(64, 1, 1)))
@@ -153,6 +175,21 @@ class TestResidueDisjointness:
         a = self.access(0, 4096, 8, 4)
         b = self.access(0, 4096, 8, 4)
         assert a.conflicts_with(b)
+
+    def test_mixed_width_overlapping_windows_conflict(self):
+        # a covers residues {0,1,2,3} mod 8; b writes single bytes at
+        # residue 2 — inside a's window, so they share bytes.
+        a = self.access(0, 4096, 8, 4)
+        b = self.access(2, 4099, 8, 1)
+        assert a.conflicts_with(b)
+        assert b.conflicts_with(a)
+
+    def test_mixed_width_disjoint_windows_do_not_conflict(self):
+        # a covers residues {0,1,2,3} mod 8; b touches residue 6 only.
+        a = self.access(0, 4096, 8, 4)
+        b = self.access(6, 4103, 8, 1)
+        assert not a.conflicts_with(b)
+        assert not b.conflicts_with(a)
 
     def test_dense_range_conflicts_with_overlapping_stride(self):
         dense = self.access(0, 4096, 0, 0)

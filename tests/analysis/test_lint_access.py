@@ -66,6 +66,22 @@ class TestSymbolicOob:
             }""")
         assert not messages(diagnostics, "symbolic-oob")
 
+    def test_non_affine_loop_iv_without_guard_is_not_definite(self):
+        # The loop condition t*t < m is not affine, so no guard pins
+        # the induction symbol — and the loop may run zero times
+        # (m = 0).  Iteration t=0 is therefore not a guaranteed
+        # witness; reporting it would be a false-positive *error*.
+        diagnostics = lint("""
+            __kernel void k(__global float* out, int m) {
+                __local float tile[4];
+                float s = 0.0f;
+                for (int t = 0; t * t < m; ++t) {
+                    s += tile[t + 10];
+                }
+                out[get_global_id(0)] = s;
+            }""")
+        assert not messages(diagnostics, "symbolic-oob")
+
     def test_without_reqd_attribute_no_definite_witness(self):
         # Only work-item 0 is guaranteed; tile[lid + 1] = tile[1] is in
         # bounds, so no *definite* report without the attribute.

@@ -115,6 +115,17 @@ class TestMapOverlapBytesSaved:
         finally:
             runtime.close()
 
+    def test_aliased_access_keeps_declared_halo(self):
+        from repro.skelcl import MapOverlap
+
+        # The alias hides a read at offset 3 from the bounds proof; the
+        # halo must stay at the declared overlap, not shrink to the
+        # tracked (empty) reach.
+        blur = MapOverlap(
+            "float func(float* v) { float* p = v; return p[3]; }", 4)
+        assert not blur.checks_elided
+        assert blur.effective_overlap == 4
+
     def test_full_reach_saves_nothing(self):
         import repro.skelcl as skelcl
         from repro.skelcl import MapOverlap, Vector

@@ -161,3 +161,33 @@ class TestProofs:
     def test_ternary_offset(self):
         source = "float f(float* m, int c) { return get(m, c ? 1 : -1, 0); }"
         assert analyze(source, 1).proven
+
+
+class TestPointerEscape:
+    """A proof is only as good as its view of the accesses: any use of
+    the pointer parameter outside the recognized ``get()``/direct
+    patterns (aliasing, helper calls) hides reads from the analysis and
+    must poison the proof — a proven result would let MapOverlap shrink
+    the staged halo below the kernel's actual reach."""
+
+    def test_aliased_pointer_poisons_proof(self):
+        proof = analyze("float f(float* v) { float* p = v; return p[3]; }", 1)
+        assert not proof.proven
+        assert "escapes" in proof.reason
+
+    def test_pointer_passed_to_helper_poisons_proof(self):
+        source = """
+        float pick(float* q) { return q[3]; }
+        float f(float* v) { return pick(v); }
+        """
+        assert not analyze(source, 1).proven
+
+    def test_pointer_in_unmodelled_arithmetic_poisons_proof(self):
+        assert not analyze(
+            "float f(float* v) { return v[1] + (v + 2)[0]; }", 1).proven
+
+    def test_recognized_patterns_do_not_escape(self):
+        proof = analyze(
+            "float f(float* v) { return v[1] + *(v + 1) + *v + get(v, -1); }",
+            1)
+        assert proof.proven
