@@ -1,0 +1,324 @@
+"""Multi-tenant serving saturation gate and tracked benchmark.
+
+Drives the :mod:`repro.serve` runtime with a mixed workload from three
+tenants on a shared 2-GPU pool:
+
+- **sobel**: 1D Sobel-style MapOverlap graph jobs (stencil, medium);
+- **mandel**: Mandelbrot-style iterate-heavy Map jobs (compute-bound,
+  large, batchable);
+- **dot**: dot-product graph jobs (Zip + Reduce, small and latency
+  sensitive).
+
+Two experiments:
+
+1. **Saturation curve** — a closed-loop load generator sweeps the
+   offered load (think time between request waves, from 4x the service
+   capacity down to an all-upfront backlog) and records achieved
+   throughput and p50/p99 latency per level: the classic
+   throughput-vs-offered-load saturation curve.  At the fully saturated
+   level the same backlog is replayed under the naive FIFO policy; the
+   gate asserts the weighted-fair scheduler beats FIFO on p99 latency
+   (round-robin interleaving + launch batching vs head-of-line
+   blocking).
+
+2. **Weighted shares** — two tenants with a 2:1 weight ratio submit
+   identical backlogs; over the contended window (both backlogged) the
+   2:1 tenant must receive ~2x the device-ns, within +-15%.
+
+The per-level latency table goes to ``benchmarks/results/
+serve_saturation.json``; the tracked ``BENCH_serve.json`` at the repo
+root records the gated summary.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_saturation.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DEVICES = ["tesla", "tesla"]
+
+SOBEL = ("float func(float* v) { return get(v, 1) - get(v, -1); }", 1)
+
+# 48 dependent iterations per element: a Mandelbrot-style escape loop's
+# compute profile without the branchy early-out.
+MANDEL = """\
+float func(float x) {
+    float re = x, im = 0.5f * x;
+    for (int i = 0; i < 48; ++i) {
+        float r2 = re * re - im * im + x;
+        im = 2.0f * re * im + 0.25f;
+        re = r2;
+    }
+    return re + im;
+}"""
+
+MULT = "float f(float x, float y) { return x * y; }"
+ADD = "float f(float x, float y) { return x + y; }"
+
+
+def _import_repro():
+    src = os.path.join(_REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    import repro.skelcl as skelcl
+    from repro import serve
+    return skelcl, serve
+
+
+def _percentile(values, q):
+    import numpy as np
+
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+class Workload:
+    """The three tenants' job factories over pre-generated inputs."""
+
+    def __init__(self, skelcl, rng, sobel_n=2048, mandel_n=4096, dot_n=1024):
+        self.skelcl = skelcl
+        self.sobel = skelcl.MapOverlap(SOBEL[0], SOBEL[1],
+                                       skelcl.SCL_NEUTRAL, 0.0)
+        self.mandel = skelcl.Map(MANDEL)
+        self.mult = skelcl.Zip(MULT)
+        self.total = skelcl.Reduce(ADD)
+        self.sobel_data = rng.rand(sobel_n).astype("float32")
+        self.mandel_data = rng.rand(mandel_n).astype("float32")
+        self.dot_a = rng.rand(dot_n).astype("float32")
+        self.dot_b = rng.rand(dot_n).astype("float32")
+
+    def submit(self, tenant_name, client):
+        skelcl = self.skelcl
+        if tenant_name == "sobel":
+            data = self.sobel_data
+            return client.submit(
+                lambda: self.sobel(skelcl.Vector(data=data)), label="sobel")
+        if tenant_name == "mandel":
+            return client.submit_map(self.mandel, self.mandel_data,
+                                     label="mandel")
+        a, b = self.dot_a, self.dot_b
+        return client.submit(
+            lambda: self.total(self.mult(skelcl.Vector(data=a),
+                                         skelcl.Vector(data=b))),
+            label="dot")
+
+
+TENANTS = ("sobel", "mandel", "dot")
+
+
+def _run_level(skelcl, serve, waves, think_ns, policy="drr",
+               drain_every=1):
+    """One closed-loop run: ``waves`` request waves (one job per tenant
+    per wave), ``think_ns`` of modeled client think time between waves,
+    a drain every ``drain_every`` waves.  Returns (jobs, elapsed_ns)."""
+    quota = serve.TenantQuota(max_queue_depth=max(64, 4 * waves))
+    with serve.Server(devices=DEVICES, policy=policy,
+                      default_quota=quota) as server:
+        import numpy as np
+
+        workload = Workload(skelcl, np.random.RandomState(42))
+        clients = {name: server.client(name) for name in TENANTS}
+        start_ns = server.now_ns
+        jobs = []
+        for wave in range(waves):
+            if think_ns:
+                server.advance_clock(think_ns)
+            for name in TENANTS:
+                jobs.append(workload.submit(name, clients[name]))
+            if drain_every and (wave + 1) % drain_every == 0:
+                server.drain()
+        server.drain()
+        elapsed_ns = server.now_ns - start_ns
+        skelcl.terminate()
+    return jobs, elapsed_ns
+
+
+def _latency_stats(jobs):
+    latencies = [job.latency_ns for job in jobs]
+    return {
+        "jobs": len(jobs),
+        "p50_latency_ns": round(_percentile(latencies, 50)),
+        "p99_latency_ns": round(_percentile(latencies, 99)),
+        "max_latency_ns": max(latencies),
+    }
+
+
+def run_saturation(waves: int) -> dict:
+    skelcl, serve = _import_repro()
+
+    # Calibrate the per-wave service time from a quick unloaded run.
+    calib_jobs, calib_ns = _run_level(skelcl, serve, waves=8, think_ns=0)
+    wave_service_ns = max(1, calib_ns // 8)
+
+    levels = []
+    for load in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
+        think_ns = int(wave_service_ns / load)
+        jobs, elapsed_ns = _run_level(skelcl, serve, waves, think_ns)
+        entry = {
+            "offered_load": load,
+            "think_ns": think_ns,
+            "elapsed_ns": elapsed_ns,
+            "throughput_jobs_per_ms": round(len(jobs) * 1e6 / elapsed_ns, 3),
+        }
+        entry.update(_latency_stats(jobs))
+        entry["per_tenant"] = {
+            name: _latency_stats([j for j in jobs if j.tenant.name == name])
+            for name in TENANTS
+        }
+        levels.append(entry)
+
+    # Fully saturated: the whole backlog arrives at once; replay it
+    # under both policies (this is where scheduling policy matters).
+    saturated = {}
+    for policy in ("drr", "fifo"):
+        jobs, elapsed_ns = _run_level(skelcl, serve, waves, think_ns=0,
+                                      policy=policy, drain_every=0)
+        entry = _latency_stats(jobs)
+        entry["elapsed_ns"] = elapsed_ns
+        entry["throughput_jobs_per_ms"] = round(
+            len(jobs) * 1e6 / elapsed_ns, 3)
+        entry["per_tenant"] = {
+            name: _latency_stats([j for j in jobs if j.tenant.name == name])
+            for name in TENANTS
+        }
+        saturated[policy] = entry
+
+    return {
+        "wave_service_ns": wave_service_ns,
+        "levels": levels,
+        "saturated": saturated,
+    }
+
+
+def run_weighted_shares(jobs_per_tenant: int) -> dict:
+    skelcl, serve = _import_repro()
+    import numpy as np
+
+    rng = np.random.RandomState(7)
+    with serve.Server(devices=DEVICES, quantum_ns=12_000, batching=False,
+                      default_quota=serve.TenantQuota(
+                          max_queue_depth=4 * jobs_per_tenant)) as server:
+        heavy = server.client("heavy", weight=2.0)
+        light = server.client("light", weight=1.0)
+        mandel = skelcl.Map(MANDEL)
+        heavy_jobs, light_jobs = [], []
+        for _ in range(jobs_per_tenant):
+            heavy_jobs.append(heavy.submit_map(
+                mandel, rng.rand(2048).astype(np.float32)))
+            light_jobs.append(light.submit_map(
+                mandel, rng.rand(2048).astype(np.float32)))
+        server.drain()
+        # Compare device-ns over the contended window only: once the
+        # heavy backlog empties, the light tenant gets the whole pool
+        # and the totals converge regardless of weights.
+        heavy_done = max(job.end_ns for job in heavy_jobs)
+        heavy_ns = sum(job.cost_ns for job in heavy_jobs)
+        light_ns = sum(job.cost_ns for job in light_jobs
+                       if job.end_ns <= heavy_done)
+        fairness = server.metrics.value("skelcl_serve_weighted_fairness")
+        skelcl.terminate()
+    return {
+        "weights": {"heavy": 2.0, "light": 1.0},
+        "jobs_per_tenant": jobs_per_tenant,
+        "heavy_device_ns": heavy_ns,
+        "light_device_ns_in_window": light_ns,
+        "ns_ratio": round(heavy_ns / light_ns, 3),
+        "jain_fairness_after_drain": fairness,
+    }
+
+
+def gate(results: dict) -> bool:
+    ok = True
+    saturated = results["saturation"]["saturated"]
+    drr_p99 = saturated["drr"]["p99_latency_ns"]
+    fifo_p99 = saturated["fifo"]["p99_latency_ns"]
+    print(f"saturated p99: drr {drr_p99} ns, fifo {fifo_p99} ns "
+          f"(drr/fifo {drr_p99 / fifo_p99:.3f})")
+    for level in results["saturation"]["levels"]:
+        print(f"  load {level['offered_load']:>5}: "
+              f"{level['throughput_jobs_per_ms']:>8} jobs/ms   "
+              f"p50 {level['p50_latency_ns']:>9} ns   "
+              f"p99 {level['p99_latency_ns']:>9} ns")
+    if drr_p99 >= fifo_p99:
+        print("FAIL: weighted-fair does not beat FIFO on p99 at saturation")
+        ok = False
+
+    ratio = results["weighted_shares"]["ns_ratio"]
+    print(f"2:1-weighted device-ns ratio over the contended window: {ratio}")
+    if not (2.0 * 0.85 <= ratio <= 2.0 * 1.15):
+        print("FAIL: 2:1-weighted tenant's device-ns share off by > 15%")
+        ok = False
+
+    # Throughput must not degrade as offered load rises past capacity
+    # (saturate, not collapse): the top level within 10% of the peak.
+    levels = results["saturation"]["levels"]
+    peak = max(level["throughput_jobs_per_ms"] for level in levels)
+    top = levels[-1]["throughput_jobs_per_ms"]
+    if top < 0.9 * peak:
+        print(f"FAIL: throughput collapses past saturation "
+              f"({top} vs peak {peak} jobs/ms)")
+        ok = False
+
+    if ok:
+        print("OK: fair scheduling beats FIFO p99 at saturation; "
+              "2:1 weights yield ~2x device-ns; throughput saturates")
+    return ok
+
+
+def _write_json(path: str, payload: dict) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.relpath(path, _REPO_ROOT)}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--waves", type=int, default=60,
+                        help="request waves per load level, one job per "
+                             "tenant per wave (default 60 -> 180 jobs/level)")
+    parser.add_argument("--weighted-jobs", type=int, default=60,
+                        help="jobs per tenant in the weighted-shares run")
+    parser.add_argument("--bench-dir", default=_REPO_ROOT,
+                        help="directory for the tracked BENCH_serve.json")
+    args = parser.parse_args()
+
+    results = {
+        "schema": "skelcl-bench-v1",
+        "benchmark": "serve_saturation",
+        "devices": DEVICES,
+        "tenants": list(TENANTS),
+        "waves": args.waves,
+        "saturation": run_saturation(args.waves),
+        "weighted_shares": run_weighted_shares(args.weighted_jobs),
+    }
+    ok = gate(results)
+    _write_json(os.path.join(_REPO_ROOT, "benchmarks", "results",
+                             "serve_saturation.json"), results)
+    summary = {k: v for k, v in results.items() if k != "saturation"}
+    summary["saturation"] = {
+        "wave_service_ns": results["saturation"]["wave_service_ns"],
+        "saturated": results["saturation"]["saturated"],
+        "levels": [
+            {k: level[k] for k in ("offered_load", "throughput_jobs_per_ms",
+                                   "p50_latency_ns", "p99_latency_ns")}
+            for level in results["saturation"]["levels"]
+        ],
+    }
+    summary["gate_ok"] = ok
+    _write_json(os.path.join(args.bench_dir, "BENCH_serve.json"), summary)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

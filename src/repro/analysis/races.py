@@ -28,7 +28,6 @@ traceback points at the enqueue site that missed the edge.
 from __future__ import annotations
 
 import enum
-import os
 import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -41,8 +40,6 @@ class SanitizeMode(enum.Enum):
     REPORT = "report"
     STRICT = "strict"
 
-
-_ENV_VAR = "SKELCL_SANITIZE"
 
 _ENV_VALUES = {
     "": SanitizeMode.OFF,
@@ -61,18 +58,15 @@ _ENV_VALUES = {
 def resolve_sanitize_mode(explicit=None) -> SanitizeMode:
     """Turn a ``Context(detect_races=...)`` argument into a mode.
 
-    ``None`` defers to the ``SKELCL_SANITIZE`` environment variable
-    (default off); otherwise accepts a :class:`SanitizeMode`, a mode
-    string, or a bool (``True`` → strict)."""
+    ``None`` defers to the configuration chain
+    (``skelcl.configure(sanitize=...)``, then the ``SKELCL_SANITIZE``
+    environment variable, default off); otherwise accepts a
+    :class:`SanitizeMode`, a mode string, or a bool (``True`` →
+    strict)."""
     if explicit is None:
-        raw = os.environ.get(_ENV_VAR, "").strip().lower()
-        mode = _ENV_VALUES.get(raw)
-        if mode is None:
-            raise ValueError(
-                f"{_ENV_VAR}={raw!r} is not a sanitize mode "
-                f"(expected off/report/strict)"
-            )
-        return mode
+        from .. import settings
+
+        return SanitizeMode(settings.get("sanitize"))
     if isinstance(explicit, SanitizeMode):
         return explicit
     if isinstance(explicit, bool):

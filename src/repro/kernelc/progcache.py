@@ -15,9 +15,12 @@ types the checker recorded).
 
 Every failure mode — unreadable file, stale format, pickle error,
 re-resolution mismatch — is a silent miss: the caller falls back to a
-cold compile and overwrites the entry.  ``SKELCL_CACHE=off`` disables
-the cache; ``SKELCL_CACHE_DIR`` relocates it (default
-``~/.cache/skelcl/programs``).
+cold compile and overwrites the entry.  ``skelcl.configure(cache=False)``
+(or ``SKELCL_CACHE=off``) disables the cache; ``cache_dir`` /
+``SKELCL_CACHE_DIR`` relocates it, and the ``dir`` / ``SKELCL_DIR``
+base directory hosts the default location (``<dir>/programs``, i.e.
+``~/.cache/skelcl/programs`` out of the box) — see
+:mod:`repro.settings`.
 """
 
 from __future__ import annotations
@@ -33,20 +36,19 @@ from .builtins import ResolvedBuiltin, resolve_builtin
 
 _FORMAT = "skelcl-progcache-v1"
 
-_DISABLED_VALUES = ("off", "0", "no", "false", "disabled")
-
 _fingerprint_cache: Optional[str] = None
 
 
 def enabled() -> bool:
-    return os.environ.get("SKELCL_CACHE", "").strip().lower() not in _DISABLED_VALUES
+    from .. import settings
+
+    return settings.get("cache")
 
 
 def cache_dir() -> str:
-    configured = os.environ.get("SKELCL_CACHE_DIR")
-    if configured:
-        return configured
-    return os.path.join(os.path.expanduser("~"), ".cache", "skelcl", "programs")
+    from .. import settings
+
+    return settings.cache_directory()
 
 
 def _toolchain_fingerprint() -> str:

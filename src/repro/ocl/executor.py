@@ -28,7 +28,6 @@ contents can never be read back as results.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -45,10 +44,16 @@ DEFAULT_BACKEND = "vector"
 
 
 def resolve_backend(backend: Optional[str]) -> str:
-    """Normalize a backend selection (None defers to ``SKELCL_BACKEND``,
-    then to the default)."""
+    """Normalize a backend selection (None defers to the configuration
+    chain: ``skelcl.configure(backend=...)``, then ``SKELCL_BACKEND``,
+    then the default)."""
     if backend is None:
-        backend = os.environ.get("SKELCL_BACKEND") or DEFAULT_BACKEND
+        from .. import settings
+
+        try:
+            return settings.get("backend")
+        except ValueError as exc:
+            raise InvalidValue(str(exc)) from None
     if backend not in BACKENDS:
         raise InvalidValue(
             f"unknown execution backend {backend!r} (choose from {', '.join(BACKENDS)})"

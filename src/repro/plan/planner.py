@@ -31,10 +31,12 @@ temporary still sees the right values.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence
 
 from ..skelcl.matrix import Matrix
 from ..skelcl.runtime import SkelCLError
+from ..skelcl.scalar import Scalar
 from ..skelcl.vector import Vector
 from . import compose
 from .ir import PlanNode
@@ -77,6 +79,8 @@ class Planner:
         self.pending: List[PlanNode] = []
         self._seq = 0
         self._executing = 0
+        self._recording = 0
+        self._captures: List[List[PlanNode]] = []
 
     # -- observability -----------------------------------------------------
 
@@ -93,6 +97,27 @@ class Planner:
 
     # -- recording ---------------------------------------------------------
 
+    @property
+    def recording(self) -> bool:
+        """True inside a :meth:`record` window (a serve-job submit):
+        every skeleton call defers, including Reduce — otherwise a
+        synchronous force point — so the whole job stays a graph."""
+        return self._recording > 0
+
+    @contextmanager
+    def record(self):
+        """Capture one job's command graph: yields a list that collects
+        every :class:`PlanNode` recorded in the window.  Nested windows
+        each capture their own nodes (inner nodes appear in both)."""
+        captured: List[PlanNode] = []
+        self._captures.append(captured)
+        self._recording += 1
+        try:
+            yield captured
+        finally:
+            self._recording -= 1
+            self._captures.remove(captured)
+
     def _record(self, op: str, skeleton, inputs: Sequence, output, run,
                 *, fusable: bool, label: Optional[str],
                 extras: tuple = ()) -> PlanNode:
@@ -104,6 +129,8 @@ class Planner:
             container._pending_readers.append(node)
         output._pending = node
         self.pending.append(node)
+        for capture in self._captures:
+            capture.append(node)
         self._count("skelcl_plan_deferred_total", op=op)
         return node
 
@@ -168,11 +195,33 @@ class Planner:
 
     # -- reduce: the synchronous force point -------------------------------
 
+    def defer_reduce(self, skeleton, input_container, out, label: Optional[str]):
+        """Record a Reduce without forcing (recording mode only): the
+        Scalar result stays a placeholder until the node runs — reading
+        it forces the node, like any container force point.  Recorded
+        reductions skip the map∘reduce premap fusion window (counted as
+        a fallback); correctness is unchanged."""
+        dtype = skeleton.result_dtype(skeleton.element_type)
+        if input_container.dtype != dtype:
+            raise SkelCLError(
+                f"Reduce input dtype {input_container.dtype} does not match "
+                f"{skeleton.element_type}"
+            )
+        result = out if out is not None else Scalar(0, dtype)
+        run = lambda: skeleton._execute(input_container, out=result,
+                                        label=label)
+        self._record("reduce", skeleton, [input_container], result, run,
+                     fusable=False, label=label)
+        self._count("skelcl_plan_fallback_total", reason="recorded_reduce")
+        return result
+
     def reduce_now(self, skeleton, input_container, out, label: Optional[str]):
         """Record-and-force for Reduce.  If the reduction's input is the
         sole-consumer output of a fusable map chain, the chain becomes
         the ``premap`` of the reduction's first pass (map∘reduce); the
         chain's containers are elided."""
+        if self.recording:
+            return self.defer_reduce(skeleton, input_container, out, label)
         dtype = skeleton.result_dtype(skeleton.element_type)
         if input_container.dtype != dtype:
             raise SkelCLError(
@@ -226,6 +275,37 @@ class Planner:
             if not batch:
                 return
             self._execute_steps(self._rewrite(batch))
+
+    def flush_subset(self, nodes: Sequence[PlanNode]) -> None:
+        """Execute exactly ``nodes`` (plus any pending ancestors), with
+        fusion *within* the subset — the serve dispatcher's force point:
+        one job's recorded graph runs without dragging other tenants'
+        pending work along."""
+        seen = set()
+        batch: List[PlanNode] = []
+        for node in nodes:
+            if node.state != PlanNode.PENDING:
+                continue
+            for ancestor in self._closure(node):
+                if ancestor.state == PlanNode.PENDING \
+                        and id(ancestor) not in seen:
+                    seen.add(id(ancestor))
+                    batch.append(ancestor)
+        if batch:
+            self._execute_steps(self._rewrite(
+                sorted(batch, key=lambda n: n.seq)))
+
+    def discard(self, nodes: Sequence[PlanNode]) -> None:
+        """Throw away recorded-but-unwanted nodes (a serve submit whose
+        admission was rejected *after* recording): each pending node is
+        detached without ever executing.  Containers the discarded nodes
+        were going to produce keep their placeholder contents."""
+        for node in nodes:
+            if node.state != PlanNode.PENDING:
+                continue
+            node.state = PlanNode.DONE
+            self._detach(node)
+            self._count("skelcl_plan_discarded_total", op=node.op)
 
     def _closure(self, target: PlanNode) -> List[PlanNode]:
         """``target`` plus its pending ancestors, in recording order.

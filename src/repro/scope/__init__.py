@@ -28,14 +28,17 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    derive_serve_metrics,
     derive_timeline_metrics,
     record_build,
 )
 from .profile import CriticalPath, Profile, profile
 from .timeline import render_timeline
 from .trace import (
+    ENGINE_TIDS,
     assert_valid_trace,
     chrome_trace,
+    event_tid,
     trace_events,
     validate_trace,
     write_trace,
@@ -43,6 +46,7 @@ from .trace import (
 
 __all__ = [
     "Counter",
+    "ENGINE_TIDS",
     "CriticalPath",
     "Gauge",
     "Histogram",
@@ -50,7 +54,9 @@ __all__ = [
     "Profile",
     "assert_valid_trace",
     "chrome_trace",
+    "derive_serve_metrics",
     "derive_timeline_metrics",
+    "event_tid",
     "profile",
     "record_build",
     "render_timeline",

@@ -239,6 +239,34 @@ class MetricsRegistry:
         return "\n".join(lines)
 
 
+def derive_serve_metrics(server, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Fairness gauges over a serve :class:`~repro.serve.Server`'s
+    tenants (duck-typed: needs ``tenants`` mapping names to objects with
+    ``weight`` and ``device_ns_total``):
+
+    * ``skelcl_serve_tenant_share{tenant=}`` — each tenant's fraction of
+      all charged device-ns;
+    * ``skelcl_serve_weighted_fairness`` — Jain's fairness index over
+      the weight-normalized shares (``device_ns / weight``): 1.0 means
+      every tenant received device time exactly proportional to its
+      weight, 1/n means one tenant got everything.
+    """
+    registry = registry if registry is not None else server.session.metrics
+    tenants = server.tenants
+    total = sum(t.device_ns_total for t in tenants.values())
+    normalized: List[float] = []
+    for name, tenant in sorted(tenants.items()):
+        share = tenant.device_ns_total / total if total else 0.0
+        registry.gauge("skelcl_serve_tenant_share", tenant=name).set(round(share, 6))
+        if tenant.device_ns_total:
+            normalized.append(tenant.device_ns_total / tenant.weight)
+    if normalized:
+        jain = (sum(normalized) ** 2) / (
+            len(normalized) * sum(x * x for x in normalized))
+        registry.gauge("skelcl_serve_weighted_fairness").set(round(jain, 6))
+    return registry
+
+
 def derive_timeline_metrics(context, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
     """Populate the gauges that only exist on a *resolved* timeline:
     per-engine busy/idle time, occupancy, the critical-path elapsed

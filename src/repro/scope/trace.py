@@ -5,7 +5,9 @@ format (the ``traceEvents`` array consumed by Perfetto and
 ``chrome://tracing``):
 
 * one *process* per simulated device, one *thread* (track) per device
-  engine (compute / transfer / sync), named via ``M`` metadata events;
+  engine (compute / transfer / sync), named via ``M`` metadata events —
+  commands tagged by the serve runtime additionally get one track per
+  tenant and engine (``compute [tenant-a]``, …);
 * one complete (``X``) slice per command, carrying the four OpenCL
   lifecycle timestamps (QUEUED/SUBMITTED/RUNNING/COMPLETE), byte
   counts, buffer access sets (``buffer#uid[start:stop]``) and execution
@@ -28,6 +30,25 @@ from typing import Dict, List, Optional, Tuple
 # Engine → thread id (track) inside a device's process.
 ENGINE_TIDS = {"compute": 0, "transfer": 1, "sync": 2}
 _TID_ENGINES = {tid: engine for engine, tid in ENGINE_TIDS.items()}
+
+# Serve-mode tenant tracks: commands dispatched for tenant k (1-based
+# ``tenant_track`` in ``event.info``, set by the serve dispatcher) render
+# on tid = engine + 3*k, so each tenant gets its own compute/transfer
+# row per device.  ``tid % 3`` always recovers the engine.
+_ENGINE_TRACKS = len(ENGINE_TIDS)
+
+
+def event_tid(event) -> int:
+    """The trace track of ``event``: its engine's base tid, offset by
+    the tenant track when the serve runtime tagged the command."""
+    base = ENGINE_TIDS[event.engine]
+    track = event.info.get("tenant_track", 0)
+    return base + _ENGINE_TRACKS * int(track)
+
+
+def _track_name(tid: int, tenant: Optional[str]) -> str:
+    engine = _TID_ENGINES[tid % _ENGINE_TRACKS]
+    return f"{engine} [{tenant}]" if tenant else engine
 
 
 def _collect_events(context) -> List[object]:
@@ -70,22 +91,23 @@ def trace_events(context) -> List[Dict[str, object]]:
     context.finish_all()
     out: List[Dict[str, object]] = []
     events = _collect_events(context)
-    used_tracks: Dict[int, set] = {}
+    used_tracks: Dict[int, Dict[int, Optional[str]]] = {}
     for event in events:
-        used_tracks.setdefault(event.device_index, set()).add(ENGINE_TIDS[event.engine])
+        tenant = event.info.get("tenant")
+        used_tracks.setdefault(event.device_index, {})[event_tid(event)] = tenant
     for queue in context.queues:
         device = queue.device
         out.append({
             "ph": "M", "name": "process_name", "pid": device.index, "tid": 0,
             "args": {"name": f"GPU{device.index} ({device.name})"},
         })
-        for tid in sorted(used_tracks.get(device.index, ())):
+        for tid, tenant in sorted(used_tracks.get(device.index, {}).items()):
             out.append({
                 "ph": "M", "name": "thread_name", "pid": device.index, "tid": tid,
-                "args": {"name": _TID_ENGINES[tid]},
+                "args": {"name": _track_name(tid, tenant)},
             })
     for event in events:
-        tid = ENGINE_TIDS[event.engine]
+        tid = event_tid(event)
         name = event.label or event.name
         common = {
             "name": name,
@@ -107,7 +129,7 @@ def trace_events(context) -> List[Dict[str, object]]:
             flow_id = f"{dep.seq}->{event.seq}"
             out.append({
                 "ph": "s", "id": flow_id, "name": "dep", "cat": "dep",
-                "pid": dep.device_index, "tid": ENGINE_TIDS[dep.engine],
+                "pid": dep.device_index, "tid": event_tid(dep),
                 "ts": dep.end_ns / 1e3,
                 "args": {"from_ns": dep.end_ns},
             })
@@ -222,10 +244,11 @@ def validate_trace(trace) -> List[str]:
             flows.setdefault(str(flow_id), {})[side] = (
                 event["pid"], event["tid"], event["ts"])
 
-    # One track per engine: tids within a device must be distinct,
-    # named, and drawn from the known engine set.
+    # One track per engine (plus per-tenant overlays at tid + 3k): the
+    # engine is recoverable from tid % 3, and every used track must be
+    # named by a thread_name metadata event.
     for (pid, tid) in set(slices) | set(instants):
-        if tid not in _TID_ENGINES:
+        if tid % _ENGINE_TRACKS not in _TID_ENGINES or tid < 0:
             problems.append(f"device {pid} uses unknown track tid={tid}")
         if (pid, tid) not in thread_names:
             problems.append(f"track (pid={pid}, tid={tid}) has no thread_name metadata")

@@ -1,0 +1,82 @@
+"""Serve jobs and the serve error taxonomy.
+
+A :class:`Job` is one tenant request: either a *graph* job (a recorded
+skeleton command graph, captured by the lazy planner's recording mode at
+submit) or a *map* job (a structured single-skeleton call over a host
+array, the batchable form).  Jobs move ``queued → running → done``; a
+request the admission controller refuses never becomes a queued job —
+the submit call raises :class:`Backpressure` or :class:`QuotaExceeded`
+instead, and the client is expected to back off and retry after a
+``drain()``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ServeError(Exception):
+    """Base of all serving-runtime errors."""
+
+
+class Backpressure(ServeError):
+    """Admission rejected a submit: the tenant's queue is at its
+    ``max_queue_depth``.  Back off and resubmit after a ``drain()``."""
+
+
+class QuotaExceeded(ServeError):
+    """Admission rejected a submit: accepting the job would exceed the
+    tenant's ``max_inflight_bytes`` quota."""
+
+
+class Job:
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+
+    __slots__ = ("id", "tenant", "kind", "label", "state", "nodes",
+                 "payload", "batch_key", "value", "input_bytes",
+                 "arrival_ns", "start_ns", "end_ns", "cost_ns", "batched")
+
+    def __init__(self, tenant, kind: str, *, label: Optional[str] = None):
+        self.id: Optional[int] = None  # assigned at admission
+        self.tenant = tenant
+        self.kind = kind  # "graph" | "map"
+        self.label = label
+        self.state = Job.QUEUED
+        self.nodes: List = []      # graph jobs: recorded PlanNodes
+        self.payload = None        # map jobs: (skeleton, array, extras)
+        self.batch_key = None      # map jobs: launch-batching key
+        self.value = None          # the client-visible result
+        self.input_bytes = 0       # declared inputs (quota accounting)
+        self.arrival_ns = 0        # serving clock at admission
+        self.start_ns: Optional[int] = None
+        self.end_ns: Optional[int] = None
+        self.cost_ns = 0           # charged modeled kernel-ns
+        self.batched = False       # ran as part of a fused launch
+
+    @property
+    def done(self) -> bool:
+        return self.state == Job.DONE
+
+    @property
+    def latency_ns(self) -> Optional[int]:
+        """Admission-to-completion time on the serving clock."""
+        if self.end_ns is None:
+            return None
+        return self.end_ns - self.arrival_ns
+
+    def result(self):
+        """The job's result (a graph job's submit-callable return value,
+        or a map job's output array).  Only available once the scheduler
+        has run the job — call ``server.drain()`` first."""
+        if self.state != Job.DONE:
+            raise ServeError(
+                f"job #{self.id} ({self.label or self.kind}) is {self.state}; "
+                "results are available after server.drain()"
+            )
+        return self.value
+
+    def __repr__(self) -> str:
+        return (f"<Job #{self.id} {self.kind} tenant={self.tenant.name!r} "
+                f"{self.state}>")

@@ -1,0 +1,151 @@
+"""The central scheduler: weighted-fair DRR (default) or naive FIFO.
+
+Both policies drain per-tenant FIFO queues by handing jobs to
+``server.dispatch`` one (possibly batched) launch at a time; they differ
+only in *which* tenant goes next:
+
+``drr``
+    Deficit round-robin over modeled kernel-ns.  Each round every
+    backlogged tenant accrues ``quantum_ns × weight`` of credit; a
+    tenant dispatches while its credit is positive and is charged the
+    *measured* kernel-ns of each job after it runs (post-hoc charging —
+    job costs aren't known up front in a skeleton library, the measured
+    duration is).  Overshoot goes negative and is paid back in later
+    rounds, so long-run device time converges to the weight ratio
+    without needing cost estimates.
+
+``fifo``
+    The naive baseline: one global queue in admission order, no
+    weights, no batching.  Head-of-line blocking included — that is the
+    point of the baseline.
+
+Window quotas apply to both policies: a tenant whose
+``max_device_ns_per_window`` is exhausted is skipped (DRR) or stalls
+the queue head (FIFO) until its window rolls; when every backlogged
+tenant is capped, the serving clock fast-forwards to the earliest
+window roll instead of spinning.
+
+Launch batching (DRR only): consecutive *map* jobs at a tenant's queue
+head with the same batch key (same skeleton, dtype and extra args) and
+at most ``batch_max_elements`` elements each are concatenated into one
+launch of up to ``batch_max_jobs`` jobs — amortizing per-launch
+overhead for small-job tenants without ever reordering a tenant's own
+queue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .jobs import Job, ServeError
+from .tenant import Tenant
+
+POLICIES = ("drr", "fifo")
+
+
+class Scheduler:
+    def __init__(self, server, policy: str = "drr", *,
+                 quantum_ns: int = 1_000_000, batching: bool = True,
+                 batch_max_elements: int = 65536, batch_max_jobs: int = 8):
+        if policy not in POLICIES:
+            raise ServeError(
+                f"unknown scheduling policy {policy!r} "
+                f"(choose from {', '.join(POLICIES)})"
+            )
+        if quantum_ns < 1:
+            raise ServeError("quantum_ns must be positive")
+        if batch_max_jobs < 1:
+            raise ServeError("batch_max_jobs must be at least 1")
+        self.server = server
+        self.policy = policy
+        self.quantum_ns = quantum_ns
+        self.batching = batching and policy == "drr"
+        self.batch_max_elements = batch_max_elements
+        self.batch_max_jobs = batch_max_jobs
+        self.rounds = 0
+
+    # -- draining ----------------------------------------------------------
+
+    def drain(self) -> None:
+        """Dispatch until every tenant queue is empty."""
+        if self.policy == "fifo":
+            self._drain_fifo()
+        else:
+            self._drain_drr()
+
+    def _tenants(self) -> List[Tenant]:
+        return list(self.server.tenants.values())
+
+    def _backlogged(self) -> List[Tenant]:
+        return [t for t in self._tenants() if t.queue]
+
+    def _fast_forward(self) -> None:
+        """Every backlogged tenant is window-capped: jump the serving
+        clock to the earliest window roll instead of busy-waiting."""
+        blocked = self._backlogged()
+        if not blocked:
+            return
+        self.server.fast_forward_to(min(t.next_window_ns() for t in blocked))
+
+    def _drain_drr(self) -> None:
+        server = self.server
+        while self._backlogged():
+            self.rounds += 1
+            accrued = False
+            for tenant in self._tenants():
+                if not tenant.queue:
+                    tenant.deficit = 0.0  # empty queues bank no credit
+                    continue
+                if not tenant.window_allows(server.now_ns):
+                    continue
+                tenant.deficit += self.quantum_ns * tenant.weight
+                accrued = True
+                while (tenant.queue and tenant.deficit > 0
+                       and tenant.window_allows(server.now_ns)):
+                    batch = self._take_batch(tenant)
+                    cost = server.dispatch(tenant, batch)
+                    tenant.deficit -= cost
+                if not tenant.queue:
+                    tenant.deficit = 0.0
+            if not accrued:
+                self._fast_forward()
+
+    def _drain_fifo(self) -> None:
+        server = self.server
+        while True:
+            head: Optional[Job] = None
+            owner: Optional[Tenant] = None
+            for tenant in self._backlogged():
+                job = tenant.queue[0]
+                if head is None or job.id < head.id:
+                    head, owner = job, tenant
+            if head is None:
+                return
+            while not owner.window_allows(server.now_ns):
+                server.fast_forward_to(owner.next_window_ns())
+            owner.queue.popleft()
+            server.dispatch(owner, [head])
+
+    # -- batching ----------------------------------------------------------
+
+    def _batchable(self, job: Job) -> bool:
+        return (job.kind == "map" and job.batch_key is not None
+                and job.payload[1].size <= self.batch_max_elements)
+
+    def _take_batch(self, tenant: Tenant) -> List[Job]:
+        """Pop the queue head plus any directly following compatible
+        small map jobs (never reorders the tenant's queue)."""
+        job = tenant.queue.popleft()
+        if not self.batching or not self._batchable(job):
+            return [job]
+        batch = [job]
+        total = job.payload[1].size
+        while tenant.queue and len(batch) < self.batch_max_jobs:
+            nxt = tenant.queue[0]
+            if not self._batchable(nxt) or nxt.batch_key != job.batch_key:
+                break
+            if total + nxt.payload[1].size > self.batch_max_elements * self.batch_max_jobs:
+                break
+            total += nxt.payload[1].size
+            batch.append(tenant.queue.popleft())
+        return batch

@@ -32,6 +32,7 @@ from .mapoverlap import BoundaryMode, MapOverlap, SCL_NEAREST, SCL_NEUTRAL
 from .matrix import Matrix
 from .partition import AdaptivePartitioner, Partition, modeled_throughput
 from ..scope.profile import profile
+from ..settings import PARTITION_POLICIES, Settings, configure, current_settings
 from .reduce import Reduce
 from .runtime import Session, SkelCLError, get_runtime, init, is_initialized, terminate
 from .scalar import Scalar
@@ -56,6 +57,7 @@ __all__ = [
     "MapOverlap",
     "Matrix",
     "Overlap",
+    "PARTITION_POLICIES",
     "Partition",
     "Reduce",
     "SCL_NEAREST",
@@ -63,6 +65,7 @@ __all__ = [
     "Scalar",
     "Scan",
     "Session",
+    "Settings",
     "Single",
     "SkelCLError",
     "Skeleton",
@@ -70,7 +73,9 @@ __all__ = [
     "Zip",
     "block",
     "block_ranges",
+    "configure",
     "copy",
+    "current_settings",
     "get_runtime",
     "init",
     "is_initialized",

@@ -32,7 +32,7 @@ from .funcparse import parse_user_function, pointer_param, scalar_return
 from .matrix import Matrix
 from .reduce import Reduce
 from .runtime import SkelCLError, get_runtime
-from .skeleton import (default_call_label, partitioned, positional_out_shim,
+from .skeleton import (default_call_label, partitioned, reject_positional_out,
                        rename_function, round_up)
 from .types_ import dtype_for_ctype
 from .zip import Zip
@@ -228,10 +228,7 @@ class AllPairs:
     def __call__(self, a: Matrix, b: Matrix, *_deprecated,
                  out: Optional[Matrix] = None,
                  label: Optional[str] = None) -> Matrix:
-        if out is None:
-            out = positional_out_shim(_deprecated, "AllPairs")
-        elif _deprecated:
-            raise SkelCLError("AllPairs got both a positional and a keyword output container")
+        reject_positional_out(_deprecated, "AllPairs")
         if not isinstance(a, Matrix) or not isinstance(b, Matrix):
             raise SkelCLError("AllPairs operates on two matrices")
         if a.cols != b.cols:

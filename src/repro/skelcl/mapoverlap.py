@@ -44,7 +44,7 @@ from .funcparse import append_hidden_params, pointer_param, scalar_return
 from .matrix import Matrix
 from .runtime import SkelCLError, get_runtime
 from .skeleton import (Skeleton, default_call_label, partitioned,
-                       positional_out_shim, round_up, scalar_literal)
+                       reject_positional_out, round_up, scalar_literal)
 from .types_ import dtype_for_ctype
 from .vector import Vector
 
@@ -351,10 +351,7 @@ class MapOverlap(Skeleton):
     def __call__(self, input_container: Union[Vector, Matrix], *_deprecated,
                  out: Optional[Union[Vector, Matrix]] = None,
                  label: Optional[str] = None):
-        if out is None:
-            out = positional_out_shim(_deprecated, "MapOverlap")
-        elif _deprecated:
-            raise SkelCLError("MapOverlap got both a positional and a keyword output container")
+        reject_positional_out(_deprecated, "MapOverlap")
         expected = dtype_for_ctype(self.in_type)
         if input_container.dtype != expected:
             raise SkelCLError(

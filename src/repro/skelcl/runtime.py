@@ -15,18 +15,22 @@ installed session implicitly; scoped code can instead write::
 tears down the global runtime if it still *is* the global runtime (a
 later ``init()`` replaces it, as before).
 
-On teardown the session honours the SkelScope environment switches:
-``SKELCL_TRACE=<path>`` exports the Chrome trace of everything the
-session executed, ``SKELCL_METRICS=<path>`` the metrics snapshot JSON.
+Every ``init()`` keyword resolves through the unified configuration
+chain (:mod:`repro.settings`): explicit kwarg >
+``skelcl.configure(...)`` > ``SKELCL_*`` environment variable >
+default.  ``Session.settings`` exposes the values a session actually
+resolved.  On teardown the session honours the SkelScope switches it
+resolved: ``trace=<path>`` exports the Chrome trace of everything the
+session executed, ``metrics=<path>`` the metrics snapshot JSON.
 """
 
 from __future__ import annotations
 
 import json
-import os
 from typing import List, Optional, Sequence, Union
 
 from .. import ocl
+from .. import settings as _settings
 from .partition import AdaptivePartitioner, Partition
 
 
@@ -93,15 +97,24 @@ class Session(SkelCLRuntime):
     def __init__(self, spec: Union[ocl.DeviceSpec, Sequence[ocl.DeviceSpec]],
                  num_devices: int, detect_races=None,
                  backend=None, lazy: Optional[bool] = None, partition=None):
-        super().__init__(spec, num_devices, detect_races=detect_races, backend=backend)
+        try:
+            self.settings = _settings.resolve(
+                backend=backend, lazy=lazy, partition=partition,
+                sanitize=detect_races,
+            )
+        except ValueError as exc:
+            raise SkelCLError(str(exc)) from None
+        super().__init__(spec, num_devices,
+                         detect_races=self.settings.sanitize,
+                         backend=self.settings.backend)
         self._closed = False
         self.planner = None
-        if _resolve_lazy(lazy):
+        if self.settings.lazy:
             from ..plan.planner import Planner  # late: plan imports skelcl
 
             self.planner = Planner(self)
         self.partitioner: Optional[AdaptivePartitioner] = None
-        self._install_partition_policy(_resolve_partition(partition))
+        self._install_partition_policy(self.settings.partition)
 
     # -- partitioning ------------------------------------------------------
 
@@ -245,9 +258,10 @@ _runtime: Optional[Session] = None
 
 
 def _dump_observability(session: Session) -> None:
-    """Honour ``SKELCL_TRACE`` / ``SKELCL_METRICS`` at teardown."""
-    trace_path = os.environ.get("SKELCL_TRACE")
-    metrics_path = os.environ.get("SKELCL_METRICS")
+    """Honour the resolved ``trace`` / ``metrics`` settings
+    (``SKELCL_TRACE`` / ``SKELCL_METRICS``) at teardown."""
+    trace_path = session.settings.trace
+    metrics_path = session.settings.metrics
     if not trace_path and not metrics_path:
         return
     from .. import scope
@@ -261,26 +275,14 @@ def _dump_observability(session: Session) -> None:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
 
 
-def _resolve_lazy(lazy: Optional[bool]) -> bool:
-    """An explicit ``lazy=`` wins; otherwise ``SKELCL_LAZY`` decides
-    (default: eager, matching the original library)."""
-    if lazy is not None:
-        return bool(lazy)
-    return os.environ.get("SKELCL_LAZY", "").strip().lower() in ("1", "on", "true", "yes")
+_INIT_KEYWORDS = ("num_devices", "spec", "detect_races", "backend", "lazy",
+                  "devices", "partition")
 
 
-def _resolve_partition(partition):
-    """An explicit ``partition=`` wins; otherwise ``SKELCL_PARTITION``
-    decides (default: off — the historic even split)."""
-    if partition is not None:
-        return partition
-    env = os.environ.get("SKELCL_PARTITION", "").strip().lower()
-    return env or None
-
-
-def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None,
+def init(num_devices: Optional[int] = None, spec: Optional[ocl.DeviceSpec] = None,
          detect_races=None, backend: Optional[str] = None,
-         lazy: Optional[bool] = None, devices=None, partition=None) -> Session:
+         lazy: Optional[bool] = None, devices=None, partition=None,
+         **unexpected) -> Session:
     """Initialize SkelCL on ``num_devices`` simulated GPUs.
 
     Mirrors ``SkelCL::init()``; must be called before creating containers
@@ -295,8 +297,8 @@ def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None,
     their homogeneous meaning.
 
     ``partition`` selects how Block/Overlap distributions split data
-    over the pool: ``None`` defers to ``SKELCL_PARTITION``, then to the
-    historic even split; ``"throughput"`` sizes chunks once,
+    over the pool: ``None`` defers to ``skelcl.configure(partition=...)``,
+    then ``SKELCL_PARTITION``, then the historic even split; ``"throughput"`` sizes chunks once,
     proportional to each device's modeled peak throughput;
     ``"adaptive"`` additionally re-sizes from measured per-device
     kernel time whenever the imbalance exceeds the threshold (see
@@ -306,25 +308,63 @@ def init(num_devices: int = 1, spec: Optional[ocl.DeviceSpec] = None,
     ``detect_races`` enables the SkelSan command-graph race detector on
     every queue (see :mod:`repro.analysis`): ``"report"`` warns,
     ``"strict"`` raises :class:`repro.analysis.RaceError`; ``None``
-    defers to the ``SKELCL_SANITIZE`` environment variable.
+    defers to ``skelcl.configure(sanitize=...)``, then ``SKELCL_SANITIZE``.
 
     ``backend`` selects the NDRange execution backend (``"vector"`` or
-    ``"interp"``); ``None`` defers to ``SKELCL_BACKEND``, then to the
-    vectorized default.
+    ``"interp"``); ``None`` defers to ``skelcl.configure(backend=...)``,
+    then ``SKELCL_BACKEND``, then the vectorized default.
 
     ``lazy`` enables the lazy skeleton planner (see :mod:`repro.plan`):
     skeleton calls defer into a plan and are fused at force time;
-    ``None`` defers to the ``SKELCL_LAZY`` environment variable
-    (default: eager).
+    ``None`` defers to ``skelcl.configure(lazy=...)``, then
+    ``SKELCL_LAZY`` (default: eager).
+
+    Every argument is validated eagerly, before any device state is
+    created: unknown keyword arguments raise :class:`TypeError`, bad
+    device presets / partition policies raise :class:`SkelCLError`
+    listing the valid choices.
     """
     global _runtime
+    if unexpected:
+        raise TypeError(
+            f"init() got unexpected keyword argument(s) "
+            f"{', '.join(sorted(unexpected))}; valid keywords: "
+            + ", ".join(_INIT_KEYWORDS)
+        )
     if devices is not None:
         if spec is not None:
             raise SkelCLError("pass either devices= or spec=, not both")
+        if num_devices is not None:
+            raise SkelCLError(
+                "pass either devices= (one entry per device) or "
+                "num_devices=, not both"
+            )
         pool: Union[ocl.DeviceSpec, Sequence] = list(devices)
+        if not pool:
+            raise SkelCLError("devices= needs at least one device spec or "
+                              "preset name")
+        try:  # resolve eagerly so typos fail before any context exists
+            pool = [ocl.resolve_device_spec(entry) for entry in pool]
+        except ValueError as exc:
+            raise SkelCLError(str(exc)) from None
+        count = len(pool)
     else:
-        pool = spec if spec is not None else ocl.TESLA_T10
-    _runtime = Session(pool, num_devices, detect_races=detect_races,
+        if num_devices is None:
+            num_devices = 1
+        if not isinstance(num_devices, int) or isinstance(num_devices, bool) \
+                or num_devices < 1:
+            raise SkelCLError(
+                f"num_devices must be a positive integer, got {num_devices!r}"
+            )
+        if spec is None:
+            pool = ocl.TESLA_T10
+        else:
+            try:  # accept preset names here too, validated eagerly
+                pool = ocl.resolve_device_spec(spec)
+            except ValueError as exc:
+                raise SkelCLError(str(exc)) from None
+        count = num_devices
+    _runtime = Session(pool, count, detect_races=detect_races,
                        backend=backend, lazy=lazy, partition=partition)
     return _runtime
 

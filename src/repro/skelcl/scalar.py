@@ -8,12 +8,22 @@ import numpy as np
 class Scalar:
     """A single value returned by a skeleton (e.g. a reduction result)."""
 
+    #: A recorded-but-unexecuted Reduce producing this value (set by the
+    #: lazy planner in recording mode); any read forces it first.
+    _pending = None
+
     def __init__(self, value, dtype=np.float32):
         self._dtype = np.dtype(dtype)
         self._value = self._dtype.type(value)
 
+    def _force(self) -> None:
+        node = self._pending
+        if node is not None:
+            node.planner.force_node(node)
+
     def get_value(self):
         """The host value (``C.getValue()`` in the paper's listing)."""
+        self._force()
         return self._value.item()
 
     def assign(self, value, dtype=None) -> "Scalar":
@@ -25,6 +35,7 @@ class Scalar:
 
     @property
     def value(self):
+        self._force()
         return self._value.item()
 
     @property
@@ -32,9 +43,11 @@ class Scalar:
         return self._dtype
 
     def __float__(self) -> float:
+        self._force()
         return float(self._value)
 
     def __int__(self) -> int:
+        self._force()
         return int(self._value)
 
     def __repr__(self) -> str:

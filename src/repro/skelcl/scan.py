@@ -26,7 +26,8 @@ from .funcparse import scalar_param, scalar_return
 from typing import Optional
 
 from .runtime import SkelCLError, get_runtime
-from .skeleton import Skeleton, default_call_label, partitioned, positional_out_shim
+from .skeleton import (Skeleton, default_call_label, partitioned,
+                       reject_positional_out)
 from .vector import Vector
 
 # Hillis-Steele uses one element per work-item; 256 matches the SkelCL
@@ -110,10 +111,7 @@ class Scan(Skeleton):
     def __call__(self, input_vector: Vector, *_deprecated,
                  out: Optional[Vector] = None,
                  label: Optional[str] = None) -> Vector:
-        if out is None:
-            out = positional_out_shim(_deprecated, "Scan")
-        elif _deprecated:
-            raise SkelCLError("Scan got both a positional and a keyword output container")
+        reject_positional_out(_deprecated, "Scan")
         if not isinstance(input_vector, Vector):
             raise SkelCLError("Scan operates on vectors")
         dtype = self.result_dtype(self.element_type)

@@ -19,7 +19,6 @@ from __future__ import annotations
 import os.path
 import re
 import sys
-import warnings
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -59,24 +58,16 @@ def default_call_label(skeleton_name: str, func_name: str) -> str:
     return f"{label}@{site}" if site else label
 
 
-def positional_out_shim(args: Sequence, skeleton_name: str):
-    """Deprecation shim for the pre-unification calling convention that
-    passed the output container positionally.  Returns the container
-    (or None) and warns; anything beyond one positional is an error."""
-    if not args:
-        return None
-    if len(args) > 1:
-        raise SkelCLError(
-            f"{skeleton_name} takes at most one positional output container, "
-            f"got {len(args)} extra positional arguments"
+def reject_positional_out(args: Sequence, skeleton_name: str) -> None:
+    """The pre-unification calling convention passed the output container
+    positionally; it went through a :class:`DeprecationWarning` cycle and
+    is now a :class:`TypeError`."""
+    if args:
+        raise TypeError(
+            f"{skeleton_name}() no longer accepts a positional output "
+            f"container ({len(args)} extra positional argument(s) given); "
+            "pass it as the keyword out=..."
         )
-    warnings.warn(
-        f"passing the output container to {skeleton_name} positionally is "
-        f"deprecated; use the keyword form out=...",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return args[0]
 
 
 def partitioned(distribution: Distribution) -> Distribution:

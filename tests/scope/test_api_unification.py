@@ -63,24 +63,22 @@ def test_unlabelled_calls_get_skeleton_and_call_site_labels(runtime_1gpu, rng):
         "float func(float x, float y) { return x + y; }")(v, out), id="scan"),
     pytest.param(lambda v, out: _sobel_overlap()(v, out), id="mapoverlap"),
 ])
-def test_positional_out_is_deprecated(runtime_1gpu, rng, make_call):
+def test_positional_out_is_a_type_error(runtime_1gpu, rng, make_call):
     data = rng.rand(128).astype(np.float32)
     vector = skelcl.Vector(data=data)
     out = skelcl.Vector(128, dtype=np.float32)
-    with pytest.deprecated_call():
-        result = make_call(vector, out)
-    assert result is out
+    with pytest.raises(TypeError, match="out=..."):
+        make_call(vector, out)
 
 
-def test_allpairs_positional_out_is_deprecated(runtime_1gpu, rng):
+def test_allpairs_positional_out_is_a_type_error(runtime_1gpu, rng):
     mult = skelcl.Zip("float func(float x, float y) { return x * y; }")
     plus = skelcl.Reduce("float func(float x, float y) { return x + y; }")
     matmul = skelcl.AllPairs(plus, zip=mult)
     a = skelcl.Matrix(data=rng.rand(8, 4).astype(np.float32))
     out = skelcl.Matrix((8, 8), dtype=np.float32)
-    with pytest.deprecated_call():
-        result = matmul(a, a, out)
-    assert result is out
+    with pytest.raises(TypeError, match="AllPairs"):
+        matmul(a, a, out)
 
 
 def test_keyword_out_does_not_warn(runtime_1gpu, rng, recwarn):
@@ -96,7 +94,7 @@ def test_positional_and_keyword_out_together_is_an_error(runtime_1gpu, rng):
     scan = skelcl.Scan("float func(float x, float y) { return x + y; }")
     vector = skelcl.Vector(data=rng.rand(64).astype(np.float32))
     out = skelcl.Vector(64, dtype=np.float32)
-    with pytest.raises(skelcl.SkelCLError):
+    with pytest.raises(TypeError):
         scan(vector, out, out=out)
 
 
@@ -104,7 +102,7 @@ def test_too_many_positionals_is_an_error(runtime_1gpu, rng):
     scan = skelcl.Scan("float func(float x, float y) { return x + y; }")
     vector = skelcl.Vector(data=rng.rand(64).astype(np.float32))
     out = skelcl.Vector(64, dtype=np.float32)
-    with pytest.raises(skelcl.SkelCLError):
+    with pytest.raises(TypeError):
         scan(vector, out, out)
 
 

@@ -1,0 +1,367 @@
+"""The serving scheduler: weighted fairness, admission control, quotas,
+launch batching, and the serve metrics surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+from repro import serve
+
+
+DOUBLE = "float f(float x) { return 2.0f * x; }"
+ADD = "float f(float x, float y) { return x + y; }"
+
+
+@pytest.fixture(autouse=True)
+def _teardown():
+    yield
+    skelcl.terminate()
+
+
+def _flood(client, skeleton, n_jobs, size, rng, base=0.0):
+    jobs = []
+    for i in range(n_jobs):
+        jobs.append(client.submit_map(
+            skeleton, rng.rand(size).astype(np.float32) + base + i))
+    return jobs
+
+
+class TestWeightedFairness:
+    def test_two_to_one_weights_give_two_to_one_device_ns(self, rng):
+        """The headline DRR property: with both tenants backlogged the
+        whole time, a 2:1 weight ratio yields ~2:1 device-ns."""
+        double = skelcl.Map(DOUBLE)
+        with serve.Server(devices=["test"], quantum_ns=12_000,
+                          batching=False) as server:
+            heavy = server.client("heavy", weight=2.0)
+            light = server.client("light", weight=1.0)
+            heavy_jobs, light_jobs = [], []
+            # Identical offered load: same job count, same sizes.
+            for i in range(60):
+                heavy_jobs.append(heavy.submit_map(
+                    double, rng.rand(4096).astype(np.float32)))
+                light_jobs.append(light.submit_map(
+                    double, rng.rand(4096).astype(np.float32)))
+            server.drain()
+        # Fairness is a property of the contended window: once the
+        # favoured tenant's backlog empties, the other gets the whole
+        # device and the *totals* converge.  Compare device-ns up to
+        # the moment the heavy tenant finished.
+        heavy_done = max(job.end_ns for job in heavy_jobs)
+        heavy_ns = sum(job.cost_ns for job in heavy_jobs)
+        light_ns = sum(job.cost_ns for job in light_jobs
+                       if job.end_ns <= heavy_done)
+        ratio = heavy_ns / light_ns
+        assert 2.0 * 0.85 <= ratio <= 2.0 * 1.15
+
+    def test_equal_weights_split_evenly(self, rng):
+        double = skelcl.Map(DOUBLE)
+        with serve.Server(devices=["test"], quantum_ns=50_000) as server:
+            a = server.client("a")
+            b = server.client("b")
+            for i in range(30):
+                a.submit_map(double, rng.rand(4096).astype(np.float32))
+                b.submit_map(double, rng.rand(4096).astype(np.float32))
+            server.drain()
+            ratio = (server.tenants["a"].device_ns_total
+                     / server.tenants["b"].device_ns_total)
+        assert 0.85 <= ratio <= 1.15
+
+    def test_fairness_gauge_near_one_for_proportional_shares(self, rng):
+        double = skelcl.Map(DOUBLE)
+        with serve.Server(devices=["test"], quantum_ns=50_000) as server:
+            a = server.client("a", weight=2.0)
+            b = server.client("b")
+            # Offered load matching the weights: after a full drain the
+            # realized shares are proportional, so Jain's index over
+            # the weight-normalized shares sits at ~1.
+            _flood(a, double, 40, 4096, rng)
+            _flood(b, double, 20, 4096, rng)
+            server.drain()
+            jain = server.metrics.value("skelcl_serve_weighted_fairness")
+        assert jain > 0.95
+
+    def test_empty_queue_banks_no_credit(self, rng):
+        """A tenant idle for the first drain must not burst past its
+        weight in the second — DRR zeroes the deficit of empty queues."""
+        double = skelcl.Map(DOUBLE)
+        with serve.Server(devices=["test"], quantum_ns=50_000) as server:
+            a = server.client("a")
+            b = server.client("b")
+            _flood(a, double, 20, 4096, rng)
+            server.drain()  # b idle throughout
+            assert server.tenants["b"].deficit == 0.0
+            first_round_a = server.tenants["a"].device_ns_total
+            _flood(a, double, 20, 4096, rng)
+            _flood(b, double, 20, 4096, rng)
+            server.drain()
+            # Equal weights in round two: b (idle in round one) gets a
+            # fair share of it, not a catch-up burst.
+            second_a = server.tenants["a"].device_ns_total - first_round_a
+            second_b = server.tenants["b"].device_ns_total
+        assert second_b > 0
+        assert 0.85 <= second_a / second_b <= 1.15
+
+
+class TestFifoBaseline:
+    def test_fifo_dispatches_in_admission_order(self, rng):
+        double = skelcl.Map(DOUBLE)
+        with serve.Server(devices=["test"], policy="fifo") as server:
+            a = server.client("a")
+            b = server.client("b")
+            jobs = []
+            for i in range(6):
+                jobs.append((a if i % 2 == 0 else b).submit_map(
+                    double, rng.rand(256).astype(np.float32)))
+            server.drain()
+            starts = [job.start_ns for job in jobs]
+        assert starts == sorted(starts)
+
+    def test_fifo_ignores_weights(self, rng):
+        double = skelcl.Map(DOUBLE)
+        with serve.Server(devices=["test"], policy="fifo") as server:
+            heavy = server.client("heavy", weight=10.0)
+            light = server.client("light")
+            for i in range(10):
+                heavy.submit_map(double, rng.rand(2048).astype(np.float32))
+                light.submit_map(double, rng.rand(2048).astype(np.float32))
+            server.drain()
+            ratio = (server.tenants["heavy"].device_ns_total
+                     / server.tenants["light"].device_ns_total)
+        assert 0.8 <= ratio <= 1.25  # weight 10 had no effect
+
+    def test_unknown_policy_is_an_error(self):
+        with pytest.raises(serve.ServeError, match="drr, fifo"):
+            serve.Server(devices=["test"], policy="magic")
+        skelcl.terminate()
+
+
+class TestAdmissionControl:
+    def test_queue_depth_backpressure(self, rng):
+        double = skelcl.Map(DOUBLE)
+        quota = serve.TenantQuota(max_queue_depth=4)
+        with serve.Server(devices=["test"]) as server:
+            client = server.client("t", quota=quota)
+            _flood(client, double, 4, 64, rng)
+            with pytest.raises(serve.Backpressure, match="queue is full"):
+                client.submit_map(double, rng.rand(64).astype(np.float32))
+            assert server.tenants["t"].jobs_rejected == 1
+            assert server.metrics.value(
+                "skelcl_serve_jobs_total", tenant="t", outcome="rejected") == 1
+            # A drain empties the queue; submits are accepted again.
+            server.drain()
+            client.submit_map(double, rng.rand(64).astype(np.float32))
+            server.drain()
+            assert server.tenants["t"].jobs_completed == 5
+
+    def test_inflight_bytes_quota(self, rng):
+        double = skelcl.Map(DOUBLE)
+        quota = serve.TenantQuota(max_inflight_bytes=4096)
+        with serve.Server(devices=["test"]) as server:
+            client = server.client("t", quota=quota)
+            client.submit_map(double, np.zeros(512, dtype=np.float32))  # 2048 B
+            with pytest.raises(serve.QuotaExceeded, match="byte"):
+                client.submit_map(double, np.zeros(1024, dtype=np.float32))
+            # Bytes are released at completion: after a drain it fits.
+            server.drain()
+            client.submit_map(double, np.zeros(1024, dtype=np.float32))
+            server.drain()
+            assert server.tenants["t"].inflight_bytes == 0
+
+    def test_rejected_graph_submit_discards_recorded_nodes(self, rng):
+        """Graph input bytes are only known after recording, so the byte
+        quota rejects *after* ``fn`` ran — the recorded nodes must be
+        discarded, not left pending in the plan."""
+        double = skelcl.Map(DOUBLE)
+        quota = serve.TenantQuota(max_inflight_bytes=300)
+        with serve.Server(devices=["test"]) as server:
+            client = server.client("t", quota=quota)
+            v = skelcl.Vector(data=rng.rand(64).astype(np.float32))  # 256 B
+            client.submit(lambda: double(v))
+            with pytest.raises(serve.QuotaExceeded):
+                client.submit(lambda: double(double(v)))
+            # The rejected submit's nodes must not linger in the plan.
+            assert len(server.planner.pending) == 1  # the accepted job
+            assert server.metrics.value(
+                "skelcl_plan_discarded_total", op="map") == 2
+            server.drain()
+
+    def test_window_quota_defers_and_fast_forwards(self, rng):
+        """A tenant at its per-window device-ns cap stalls until its
+        window rolls; with no other runnable tenant the serving clock
+        fast-forwards instead of spinning."""
+        double = skelcl.Map(DOUBLE)
+        quota = serve.TenantQuota(max_device_ns_per_window=1,
+                                  window_ns=1_000_000)
+        with serve.Server(devices=["test"], batching=False) as server:
+            client = server.client("t", quota=quota)
+            jobs = _flood(client, double, 3, 1024, rng)
+            server.drain()
+            assert all(job.done for job in jobs)
+            # Each window admits one dispatch (cap 1 ns < any job), so
+            # later jobs completed in later windows — and the clock
+            # fast-forwarded across the stalls.
+            assert server.metrics.value("skelcl_serve_idle_ns_total") > 0
+            ends = sorted(job.end_ns for job in jobs)
+            assert ends[1] - ends[0] >= quota.window_ns // 2
+
+
+class TestBatching:
+    def test_small_compatible_maps_fuse_into_one_launch(self, rng):
+        double = skelcl.Map(DOUBLE)
+        arrays = [rng.rand(128).astype(np.float32) for _ in range(6)]
+        with serve.Server(devices=["test"], batch_max_jobs=8) as server:
+            client = server.client("t")
+            jobs = [client.submit_map(double, a) for a in arrays]
+            server.drain()
+            launches = sum(
+                1 for queue in server.session.queues
+                for event in queue.events
+                if event.command_type == "ndrange_kernel")
+            for job, a in zip(jobs, arrays):
+                assert np.allclose(job.result(), 2.0 * a)
+            assert all(job.batched for job in jobs)
+            assert launches < len(jobs)
+            assert server.metrics.value(
+                "skelcl_serve_batched_jobs_total", tenant="t") == 6
+
+    def test_batching_respects_batch_key(self, rng):
+        double = skelcl.Map(DOUBLE)
+        inc = skelcl.Map("float f(float x) { return x + 1.0f; }")
+        a1 = rng.rand(64).astype(np.float32)
+        a2 = rng.rand(64).astype(np.float32)
+        with serve.Server(devices=["test"]) as server:
+            client = server.client("t")
+            j1 = client.submit_map(double, a1)
+            j2 = client.submit_map(inc, a2)  # different skeleton: no fuse
+            server.drain()
+            assert not j1.batched and not j2.batched
+            assert np.allclose(j1.result(), 2.0 * a1)
+            assert np.allclose(j2.result(), a2 + 1.0)
+
+    def test_large_jobs_are_not_batched(self, rng):
+        double = skelcl.Map(DOUBLE)
+        with serve.Server(devices=["test"], batch_max_elements=64) as server:
+            client = server.client("t")
+            jobs = [client.submit_map(double, rng.rand(256).astype(np.float32))
+                    for _ in range(3)]
+            server.drain()
+            assert not any(job.batched for job in jobs)
+
+    def test_fifo_never_batches(self, rng):
+        double = skelcl.Map(DOUBLE)
+        with serve.Server(devices=["test"], policy="fifo") as server:
+            client = server.client("t")
+            jobs = _flood(client, double, 4, 64, rng)
+            server.drain()
+            assert not any(job.batched for job in jobs)
+
+    def test_batched_results_bit_exact_vs_unbatched(self, rng):
+        double = skelcl.Map(DOUBLE)
+        arrays = [rng.rand(200).astype(np.float32) for _ in range(5)]
+        with serve.Server(devices=["test"], batching=False) as server:
+            client = server.client("t")
+            solo = [client.submit_map(double, a) for a in arrays]
+            server.drain()
+            solo_results = [job.result() for job in solo]
+        with serve.Server(devices=["test"], batching=True) as server:
+            client = server.client("t")
+            batched = [client.submit_map(double, a) for a in arrays]
+            server.drain()
+            for job, expect in zip(batched, solo_results):
+                assert np.array_equal(job.result(), expect)
+
+
+class TestJobsAndResults:
+    def test_graph_job_defers_until_drain(self, rng):
+        mult = skelcl.Zip("float f(float x, float y) { return x * y; }")
+        total = skelcl.Reduce(ADD)
+        with serve.Server(devices=["test", "test"]) as server:
+            client = server.client("t")
+            va = skelcl.Vector(data=np.arange(64, dtype=np.float32))
+            vb = skelcl.Vector(data=np.full(64, 2.0, dtype=np.float32))
+            job = client.submit(lambda: total(mult(va, vb)))
+            # Nothing ran yet: no kernels on any queue.
+            kernels = sum(
+                1 for queue in server.session.queues
+                for event in queue.events
+                if event.command_type == "ndrange_kernel")
+            assert kernels == 0
+            with pytest.raises(serve.ServeError, match="drain"):
+                job.result()
+            server.drain()
+            assert float(job.result().get_value()) == float(np.arange(64).sum() * 2)
+            assert job.latency_ns is not None and job.latency_ns > 0
+
+    def test_job_latency_includes_queueing_delay(self, rng):
+        double = skelcl.Map(DOUBLE)
+        with serve.Server(devices=["test"]) as server:
+            client = server.client("t")
+            jobs = _flood(client, double, 8, 4096, rng)
+            server.drain()
+            # Later-dispatched jobs waited behind earlier ones.
+            assert jobs[-1].latency_ns >= jobs[-1].cost_ns
+
+    def test_advance_clock_shapes_arrivals(self, rng):
+        double = skelcl.Map(DOUBLE)
+        with serve.Server(devices=["test"]) as server:
+            client = server.client("t")
+            j1 = client.submit_map(double, rng.rand(64).astype(np.float32))
+            server.advance_clock(500_000)
+            j2 = client.submit_map(double, rng.rand(64).astype(np.float32))
+            assert j2.arrival_ns - j1.arrival_ns >= 500_000
+            server.drain()
+
+    def test_duplicate_tenant_name_is_an_error(self):
+        with serve.Server(devices=["test"]) as server:
+            server.client("t")
+            with pytest.raises(serve.ServeError, match="already exists"):
+                server.client("t")
+
+    def test_closed_client_rejects_submits(self, rng):
+        double = skelcl.Map(DOUBLE)
+        with serve.Server(devices=["test"]) as server:
+            client = server.client("t")
+            client.close()
+            with pytest.raises(serve.ServeError, match="closed"):
+                client.submit_map(double, rng.rand(8).astype(np.float32))
+
+    def test_invalid_quota_values_rejected(self):
+        with pytest.raises(ValueError):
+            serve.TenantQuota(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            serve.TenantQuota(window_ns=0)
+        with pytest.raises(ValueError):
+            serve.TenantQuota(max_inflight_bytes=-1)
+
+    def test_invalid_weight_rejected(self):
+        with serve.Server(devices=["test"]) as server:
+            with pytest.raises(serve.ServeError, match="weight"):
+                server.client("t", weight=0.0)
+
+
+class TestServeMetrics:
+    def test_metrics_surface(self, rng):
+        double = skelcl.Map(DOUBLE)
+        with serve.Server(devices=["test"]) as server:
+            a = server.client("a")
+            b = server.client("b")
+            _flood(a, double, 4, 512, rng)
+            _flood(b, double, 2, 512, rng)
+            stats = server.drain()
+            m = server.metrics
+            assert m.value("skelcl_serve_jobs_total",
+                           tenant="a", outcome="accepted") == 4
+            assert m.value("skelcl_serve_jobs_total",
+                           tenant="a", outcome="completed") == 4
+            assert m.value("skelcl_serve_tenant_ns_total", tenant="a") > 0
+            assert m.value("skelcl_serve_queue_depth", tenant="a") == 0
+            hist = m.histogram("skelcl_serve_latency_ns", tenant="b")
+            assert hist.count == 2 and hist.max >= hist.min > 0
+            share_a = m.value("skelcl_serve_tenant_share", tenant="a")
+            share_b = m.value("skelcl_serve_tenant_share", tenant="b")
+            assert abs(share_a + share_b - 1.0) < 1e-6
+            assert stats["a"]["completed"] == 4
+            assert stats["b"]["mean_latency_ns"] > 0

@@ -1,0 +1,188 @@
+"""The unified configuration chain: explicit kwarg >
+``skelcl.configure()`` > ``SKELCL_*`` environment > default."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.skelcl as skelcl
+from repro import settings
+
+
+@pytest.fixture(autouse=True)
+def _clean_config(monkeypatch):
+    """Each test starts from a pristine chain: no configure() overrides,
+    no SKELCL_* environment."""
+    env_vars = ("SKELCL_BACKEND", "SKELCL_CACHE", "SKELCL_CACHE_DIR",
+                "SKELCL_DIR", "SKELCL_LAZY", "SKELCL_METRICS",
+                "SKELCL_PARTITION", "SKELCL_SANITIZE", "SKELCL_TRACE")
+    settings.configure(reset=True)
+    for var in env_vars:
+        monkeypatch.delenv(var, raising=False)
+    yield
+    # Drop any env a test set *before* re-resolving: configure()
+    # returns the current chain, which must not trip on leftovers.
+    for var in env_vars:
+        monkeypatch.delenv(var, raising=False)
+    settings.configure(reset=True)
+    skelcl.terminate()
+
+
+class TestPrecedence:
+    def test_defaults(self):
+        resolved = skelcl.current_settings()
+        assert resolved.backend == "vector"
+        assert resolved.cache is True
+        assert resolved.lazy is False
+        assert resolved.sanitize == "off"
+        assert resolved.partition is None
+        assert resolved.trace is None
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("SKELCL_BACKEND", "interp")
+        monkeypatch.setenv("SKELCL_LAZY", "1")
+        resolved = skelcl.current_settings()
+        assert resolved.backend == "interp"
+        assert resolved.lazy is True
+
+    def test_configure_beats_env(self, monkeypatch):
+        monkeypatch.setenv("SKELCL_BACKEND", "interp")
+        skelcl.configure(backend="vector")
+        assert skelcl.current_settings().backend == "vector"
+
+    def test_explicit_kwarg_beats_configure(self, monkeypatch):
+        monkeypatch.setenv("SKELCL_SANITIZE", "strict")
+        skelcl.configure(sanitize="report")
+        session = skelcl.init(num_devices=1, detect_races="off")
+        assert session.settings.sanitize == "off"
+
+    def test_none_kwarg_defers_down_the_chain(self):
+        skelcl.configure(lazy=True)
+        session = skelcl.init(num_devices=1, lazy=None)
+        assert session.settings.lazy is True
+        assert session.lazy
+
+    def test_configure_none_clears_one_override(self):
+        skelcl.configure(backend="interp")
+        skelcl.configure(backend=None)
+        assert skelcl.current_settings().backend == "vector"
+
+    def test_configure_reset_drops_all_overrides(self):
+        skelcl.configure(backend="interp", lazy=True)
+        skelcl.configure(reset=True)
+        resolved = skelcl.current_settings()
+        assert resolved.backend == "vector" and resolved.lazy is False
+
+
+class TestSessionSettings:
+    def test_session_exposes_resolved_settings(self):
+        session = skelcl.init(num_devices=2, lazy=True, detect_races="report")
+        assert isinstance(session.settings, skelcl.Settings)
+        assert session.settings.lazy is True
+        assert session.settings.sanitize == "report"
+        assert session.settings.backend == session.backend
+
+    def test_configure_shapes_later_sessions_only(self):
+        first = skelcl.init(num_devices=1)
+        assert first.settings.lazy is False
+        skelcl.configure(lazy=True)
+        second = skelcl.init(num_devices=1)
+        assert second.settings.lazy is True
+        assert first.settings.lazy is False  # frozen snapshot
+
+    def test_settings_are_frozen(self):
+        session = skelcl.init(num_devices=1)
+        with pytest.raises(Exception):
+            session.settings.backend = "interp"
+
+
+class TestValidation:
+    def test_unknown_setting_is_a_type_error(self):
+        with pytest.raises(TypeError, match="valid settings"):
+            skelcl.configure(torbo_mode=True)
+
+    def test_invalid_backend_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="interp"):
+            skelcl.configure(backend="cuda")
+
+    def test_invalid_sanitize_rejected(self):
+        with pytest.raises(ValueError, match="off/report/strict"):
+            skelcl.configure(sanitize="sometimes")
+
+    def test_invalid_partition_policy_rejected(self):
+        with pytest.raises(ValueError, match="adaptive"):
+            skelcl.configure(partition="magic")
+
+    def test_bool_parsing(self, monkeypatch):
+        for text, expect in (("1", True), ("on", True), ("true", True),
+                             ("0", False), ("off", False), ("no", False)):
+            monkeypatch.setenv("SKELCL_LAZY", text)
+            assert skelcl.current_settings().lazy is expect, text
+
+    def test_empty_env_string_means_default(self, monkeypatch):
+        monkeypatch.setenv("SKELCL_CACHE", "")
+        monkeypatch.setenv("SKELCL_PARTITION", "")
+        resolved = skelcl.current_settings()
+        assert resolved.cache is True  # not False: empty = unset
+        assert resolved.partition is None
+
+    def test_bad_env_value_raises_at_resolution(self, monkeypatch):
+        monkeypatch.setenv("SKELCL_BACKEND", "cuda")
+        with pytest.raises(ValueError, match="backend"):
+            skelcl.current_settings()
+
+    def test_sanitize_boolean_coercion(self):
+        assert settings.resolve(sanitize=True).sanitize == "strict"
+        skelcl.configure(reset=True, sanitize="warn")
+        assert skelcl.current_settings().sanitize == "report"
+
+
+class TestDerivedPaths:
+    def test_cache_directory_default_under_dir(self):
+        skelcl.configure(dir="/tmp/skelcl-test-home")
+        assert settings.cache_directory() == "/tmp/skelcl-test-home/programs"
+
+    def test_cache_dir_overrides_dir(self):
+        skelcl.configure(dir="/tmp/skelcl-test-home",
+                         cache_dir="/tmp/elsewhere")
+        assert settings.cache_directory() == "/tmp/elsewhere"
+
+    def test_env_mapping_round_trips(self):
+        skelcl.configure(backend="interp", lazy=True, sanitize="strict")
+        env = skelcl.current_settings().env
+        assert env["SKELCL_BACKEND"] == "interp"
+        assert env["SKELCL_LAZY"] == "1"
+        assert env["SKELCL_SANITIZE"] == "strict"
+        assert "SKELCL_TRACE" not in env  # unset switches omitted
+
+
+class TestSubsystemsReadTheChain:
+    def test_backend_setting_reaches_the_executor(self):
+        skelcl.configure(backend="interp")
+        session = skelcl.init(num_devices=1)
+        assert session.backend == "interp"
+
+    def test_sanitize_setting_arms_the_detector(self):
+        skelcl.configure(sanitize="report")
+        session = skelcl.init(num_devices=1)
+        assert session.context.race_detector is not None
+
+    def test_lazy_setting_installs_the_planner(self):
+        skelcl.configure(lazy=True)
+        session = skelcl.init(num_devices=1)
+        assert session.planner is not None
+
+    def test_partition_setting_installs_a_partition(self):
+        skelcl.configure(partition="even")
+        session = skelcl.init(num_devices=2)
+        assert session.partition is not None
+
+    def test_cache_setting_reaches_progcache(self):
+        from repro.kernelc import progcache
+
+        skelcl.configure(cache=False)
+        assert progcache.enabled() is False
+        skelcl.configure(cache=True)
+        assert progcache.enabled() is True
