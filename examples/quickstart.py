@@ -11,6 +11,18 @@ import repro.skelcl as skelcl
 SIZE = 1024
 
 
+# The same customizing functions as plain Python: @skelcl.jit lowers
+# them to the OpenCL-C above, so either spelling customizes a skeleton.
+@skelcl.jit
+def mult_py(x: np.float32, y: np.float32) -> np.float32:
+    return x * y
+
+
+@skelcl.jit
+def sum_py(x: np.float32, y: np.float32) -> np.float32:
+    return x + y
+
+
 def main() -> None:
     # Initialize SkelCL on two simulated GPUs (SkelCL::init()).
     skelcl.init(num_devices=2)
@@ -35,6 +47,10 @@ def main() -> None:
     expected = float(np.dot(np.arange(SIZE, dtype=np.float32), np.full(SIZE, 2.0, np.float32)))
     print(f"dot product  = {value}")
     print(f"numpy agrees = {abs(value - expected) < 1e-2}")
+
+    # The jit spelling computes the identical result.
+    value_jit = skelcl.Reduce(sum_py)(skelcl.Zip(mult_py)(a, b)).get_value()
+    print(f"jit agrees   = {value_jit == value}")
 
     # How much implicit data movement did the library do for us?
     runtime = skelcl.get_runtime()

@@ -18,7 +18,7 @@ import numpy as np
 import repro.skelcl as skelcl
 from repro import ocl
 from repro.apps.images import sobel_reference_uchar, synthetic_image
-from repro.apps.sobel import SobelEdgeDetection
+from repro.apps.sobel import SobelEdgeDetection, sobel_py
 from repro.baselines.sobel_amd import SobelAmd
 from repro.baselines.sobel_nvidia import SobelNvidia
 from repro.reporting import render_bars
@@ -40,12 +40,15 @@ def main() -> None:
         app = SobelEdgeDetection()
         skelcl_edges = app.detect(image)
         skelcl_event = app.last_events[-1]
+        # The same stencil written as a Python function (@skelcl.jit).
+        jit_edges = SobelEdgeDetection(sobel_py).detect(image)
         session.finish_all()
 
         print("correctness vs numpy reference:")
         print(f"  AMD (interior): {np.array_equal(amd_edges[1:-1, 1:-1], reference[1:-1, 1:-1])}")
         print(f"  NVIDIA:         {np.array_equal(nvidia_edges, reference)}")
         print(f"  SkelCL:         {np.array_equal(skelcl_edges, reference)}")
+        print(f"  SkelCL (jit):   {np.array_equal(jit_edges, skelcl_edges)}")
         print(f"  static bounds proof: {app.map_overlap.bounds_proof.proven} "
               f"(runtime get() checks elided: {app.map_overlap.checks_elided})")
         print()

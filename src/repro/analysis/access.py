@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..kernelc import ast
 from ..kernelc.ctypes_ import PointerType
@@ -169,6 +169,14 @@ class _ModeAnalysis:
         self.functions: Dict[str, ast.FunctionDef] = {
             fn.name: fn for fn in program.functions
         }
+        # Declared access intents (jit ``/*@intent:func.param=rw*/``
+        # markers) override the derived modes verbatim — the analysis
+        # must not second-guess a declaration, so a declared ``rw`` on
+        # a read-only body still reports ``rw``.
+        source = getattr(program, "source", None)
+        self._declared: Dict[Tuple[str, str], str] = (
+            getattr(source, "declared_intents", None) or {}
+        )
         self._cache: Dict[str, Dict[str, Set[str]]] = {}
         self._in_progress: Set[str] = set()
 
@@ -193,6 +201,10 @@ class _ModeAnalysis:
             for name, ctype in pointer_params.items():
                 if ctype.is_const:
                     result[name] = {"r"} if result[name] else {"r"}
+            for name in pointer_params:
+                intent = self._declared.get((fn.name, name))
+                if intent is not None:
+                    result[name] = set(intent)
         finally:
             self._in_progress.discard(fn.name)
         self._cache[fn.name] = result

@@ -1,0 +1,39 @@
+"""repro.jit: the ``@skelcl.jit`` Python-function frontend.
+
+Lowers decorated Python functions to kernelc OpenCL-C, so NumPy-literate
+users (and generated test corpora) can customize every skeleton without
+writing OpenCL-C strings::
+
+    import numpy as np
+    import repro.skelcl as skelcl
+
+    @skelcl.jit
+    def mult(x, y):
+        return x * y
+
+    dot = skelcl.Reduce("float sum(float x, float y) { return x + y; }")
+    product = skelcl.Zip(mult)          # types inferred at the call site
+
+Pointer parameters declare PyOP2-style access intents
+(``skelcl.READ/WRITE/RW/INC``) that flow verbatim into SkelSan's access
+analysis.  See ``docs/jit.md`` for the supported subset.
+"""
+
+from .errors import JitError
+from .frontend import JitFunction, get, jit
+from .intents import INC, READ, RW, WRITE, Intent, IntentAnnotation
+from .printer import strip_markers
+
+__all__ = [
+    "INC",
+    "Intent",
+    "IntentAnnotation",
+    "JitError",
+    "JitFunction",
+    "READ",
+    "RW",
+    "WRITE",
+    "get",
+    "jit",
+    "strip_markers",
+]

@@ -1,0 +1,159 @@
+"""Command-line driver for the ``@skelcl.jit`` frontend.
+
+Usage::
+
+    python -m repro.jit MODULE             # dump every jit kernel to stdout
+    python -m repro.jit MODULE:FUNC        # dump a single function
+    python -m repro.jit MODULE -o DIR      # write one .cl file per kernel
+    python -m repro.jit MODULE --list      # list jit functions, no lowering
+
+``MODULE`` is a dotted module name or a path to a ``.py`` file (the
+``examples/`` scripts are not importable by dotted name).  Only fully
+annotated functions can be lowered without a call site; unannotated
+ones are skipped with a note on stderr (or fail the run when named
+explicitly).  Multi-output functions are dumped one component per
+kernel as ``name.0``, ``name.1``, ...
+
+The dumped files are plain kernelc sources (with ``/*@py:...*/`` and
+``/*@intent:...*/`` markers), so they feed straight into
+``python -m repro.kernelc --lint --access`` — that pairing is what the
+CI ``jit`` job runs over the example kernels.
+
+Exit status 0 on success, 1 when an explicitly named function is
+missing or fails to lower.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import os
+import re
+import sys
+
+from .errors import JitError
+from .frontend import JitFunction
+
+
+def _load_module(spec: str):
+    """Import ``spec`` as a dotted module name or a .py file path."""
+    if spec.endswith(".py") or os.path.sep in spec:
+        name = os.path.splitext(os.path.basename(spec))[0]
+        loader_spec = importlib.util.spec_from_file_location(name, spec)
+        if loader_spec is None or loader_spec.loader is None:
+            raise ImportError(f"cannot load {spec!r}")
+        module = importlib.util.module_from_spec(loader_spec)
+        loader_spec.loader.exec_module(module)
+        return module
+    return importlib.import_module(spec)
+
+
+def _jit_functions(module):
+    """``(name, JitFunction)`` pairs defined in ``module``, in
+    definition order, with multi-output functions expanded into their
+    components."""
+    found = []
+    for name, value in vars(module).items():
+        if not isinstance(value, JitFunction):
+            continue
+        if value.n_outputs is not None:
+            for index, component in enumerate(value.outputs):
+                found.append((f"{name}.{index}", component))
+        else:
+            found.append((name, value))
+    found.sort(key=lambda item: item[1].fdef.lineno)
+    return found
+
+
+# Stencil functions call the skeleton-provided ``get`` accessor; the
+# composed MapOverlap kernel defines it.  For standalone linting the
+# ``--lint-harness`` flag prepends the unchecked definition (with a
+# unit stride so the matrix form stays affine).
+_VECTOR_HARNESS = "#define get(m, di) ((m)[(di)])\n"
+_MATRIX_HARNESS = ("#define _stride 1\n"
+                   "#define get(m, dx, dy) ((m)[(dy) * _stride + (dx)])\n")
+_MATRIX_GET = re.compile(r"\bget\([^,()]+,[^,()]+,[^,()]+\)")
+
+
+def _with_harness(source: str) -> str:
+    if "get(" not in source:
+        return source
+    harness = (_MATRIX_HARNESS if _MATRIX_GET.search(source)
+               else _VECTOR_HARNESS)
+    return harness + source
+
+
+def _emit(name: str, source: str, outdir: str | None) -> None:
+    if outdir is None:
+        sys.stdout.write(f"// --- {name} ---\n{source}\n")
+        return
+    path = os.path.join(outdir, f"{name}.cl")
+    with open(path, "w") as handle:
+        handle.write(source)
+    print(path)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.jit",
+        description="Lower @skelcl.jit functions to OpenCL-C sources.")
+    parser.add_argument("target",
+                        help="dotted module, path/to/file.py, or either "
+                             "suffixed with :FUNC for a single function")
+    parser.add_argument("-o", "--outdir", default=None,
+                        help="write one NAME.cl per kernel into this "
+                             "directory (created if missing) instead of "
+                             "stdout")
+    parser.add_argument("--list", action="store_true",
+                        help="list jit functions without lowering them")
+    parser.add_argument("--lint-harness", action="store_true",
+                        help="prepend a standalone get() definition to "
+                             "stencil kernels so the dumps compile under "
+                             "python -m repro.kernelc")
+    args = parser.parse_args(argv)
+
+    spec, _, wanted = args.target.partition(":")
+    try:
+        module = _load_module(spec)
+    except Exception as exc:  # import errors carry their own context
+        print(f"error: cannot import {spec!r}: {exc}", file=sys.stderr)
+        return 1
+
+    functions = _jit_functions(module)
+    if wanted:
+        functions = [(name, fn) for name, fn in functions
+                     if name == wanted or name.split(".")[0] == wanted]
+        if not functions:
+            print(f"error: no @skelcl.jit function {wanted!r} in {spec!r}",
+                  file=sys.stderr)
+            return 1
+
+    if args.list:
+        for name, fn in functions:
+            marker = "" if fn.is_fully_annotated() else "  (unannotated)"
+            print(f"{name}{marker}")
+        return 0
+
+    if args.outdir is not None:
+        os.makedirs(args.outdir, exist_ok=True)
+
+    status = 0
+    for name, fn in functions:
+        try:
+            source = fn.lower_source(fn.resolve_param_ctypes())
+        except JitError as exc:
+            if wanted:
+                print(exc.render(), file=sys.stderr)
+                status = 1
+            else:
+                print(f"note: skipping {name}: {exc}", file=sys.stderr)
+            continue
+        if args.lint_harness:
+            source = _with_harness(source)
+        _emit(name, source, args.outdir)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

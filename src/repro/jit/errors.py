@@ -1,0 +1,35 @@
+"""Jit diagnostics: errors that point back into the *Python* source.
+
+Unsupported constructs and type conflicts are compile errors of the jit
+frontend.  They render exactly like kernelc diagnostics — file:line:col,
+the offending source line and a caret — but against the user's Python
+file, because that is the code the user wrote.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class JitError(Exception):
+    """A jit lowering error, located in the user's Python source."""
+
+    def __init__(self, message: str, filename: str = "<jit>",
+                 line: int = 0, column: int = 0,
+                 source_line: Optional[str] = None,
+                 width: int = 1):
+        self.message = message
+        self.filename = filename
+        self.line = line
+        self.column = column
+        self.source_line = source_line
+        self.width = max(width, 1)
+        super().__init__(self.render())
+
+    def render(self) -> str:
+        where = f"{self.filename}:{self.line}:{self.column + 1}: " if self.line else ""
+        text = f"{where}error: {self.message}"
+        if self.source_line is not None:
+            caret = " " * self.column + "^" * self.width
+            text += f"\n{self.source_line}\n{caret}"
+        return text

@@ -1,0 +1,363 @@
+"""The ``@skelcl.jit`` decorator: Python functions as skeleton customizers.
+
+A decorated function is parsed once (``inspect`` + ``ast``) and checked
+structurally at decoration time — unsupported constructs and intent
+violations fail immediately with a Python-source diagnostic.  Lowering
+to OpenCL-C happens per *specialization*: a concrete assignment of
+ctypes to the parameters, taken from annotations or inferred at the
+call site from the container dtypes.  Every skeleton accepts a
+:class:`JitFunction` wherever it accepts a source string.
+
+The decorated function stays callable as plain Python — that is what
+the differential test harness executes as the host oracle.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+import inspect
+import math
+import os
+import textwrap
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kernelc.ctypes_ import ScalarType, ctype_from_numpy
+from .errors import JitError
+from .intents import INC, READ, Intent, IntentAnnotation
+from .lower import JPointer, JType, Lowered, LoweredParam, Lowerer
+from .printer import JitPrinter
+
+_SUPPORTED_STMTS = (pyast.Assign, pyast.AugAssign, pyast.Return, pyast.If,
+                    pyast.For, pyast.Pass, pyast.Expr)
+
+
+def get(container, *offsets):
+    """Host-side counterpart of the kernel ``get()`` stencil accessor.
+
+    Inside a jitted function, ``get(m, di[, dj])`` reads a neighbour
+    element.  On the host (oracle execution) the first argument is
+    expected to provide a ``get(*offsets)`` method — the test harness
+    passes a small neighbourhood view object.
+    """
+    return container.get(*offsets)
+
+
+class JitFunction:
+    """A Python function lowered on demand to an OpenCL-C user function."""
+
+    def __init__(self, pyfunc, component: Optional[int] = None,
+                 parent: Optional["JitFunction"] = None):
+        self.pyfunc = pyfunc
+        self.__name__ = pyfunc.__name__
+        self.component = component
+        self._cache: Dict[Tuple, object] = {}
+        self._outputs: Optional[Tuple["JitFunction", ...]] = None
+        if parent is not None:
+            # Components share the parsed AST and parameter metadata.
+            self.filename = parent.filename
+            self.line_offset = parent.line_offset
+            self.source_lines = parent.source_lines
+            self.fdef = parent.fdef
+            self.params = parent.params
+            self.return_ctype = parent.return_ctype
+            self.n_outputs = None
+            self._name = f"{parent._name}_out{component}"
+        else:
+            self._name = self.__name__
+            self._parse()
+
+    # -- parsing -----------------------------------------------------------
+
+    def _parse(self) -> None:
+        fn = self.pyfunc
+        try:
+            lines, start_line = inspect.getsourcelines(fn)
+            source_file = inspect.getsourcefile(fn) or "<jit>"
+        except (OSError, TypeError) as exc:
+            raise JitError(
+                f"cannot read the source of {fn!r}; @skelcl.jit needs a "
+                "function defined in a file") from exc
+        self.filename = os.path.basename(source_file)
+        source = textwrap.dedent("".join(lines))
+        try:
+            module = pyast.parse(source)
+        except SyntaxError as exc:
+            raise JitError(f"cannot parse {self.__name__}: {exc}") from exc
+        if not module.body or not isinstance(module.body[0], pyast.FunctionDef):
+            raise JitError(f"@skelcl.jit expects a plain function definition")
+        self.fdef = module.body[0]
+        self.line_offset = start_line - 1
+        self.source_lines = [line.rstrip("\n") for line in source.split("\n")]
+
+        self._parse_signature()
+        self._validate_structure()
+        self.n_outputs = self._detect_outputs()
+        if self.n_outputs is None and self.is_fully_annotated():
+            # Eager trial lowering: annotated functions fail fast on
+            # type errors at decoration time.
+            self._lowered(self.signature_ctypes())
+
+    def _parse_signature(self) -> None:
+        args = self.fdef.args
+        if args.vararg or args.kwarg or args.kwonlyargs or args.defaults \
+                or args.kw_defaults or args.posonlyargs:
+            raise self._err_at(
+                "only plain positional parameters are supported", self.fdef)
+        annotations = dict(getattr(self.pyfunc, "__annotations__", {}))
+        self.params: List[Tuple[str, object]] = []
+        for arg in args.args:
+            ann = annotations.get(arg.arg)
+            resolved = self._resolve_annotation(ann, arg) if ann is not None else None
+            self.params.append((arg.arg, resolved))
+        ret = annotations.get("return")
+        self.return_ctype = None
+        if ret is not None:
+            resolved = self._resolve_annotation(ret, self.fdef)
+            if not isinstance(resolved, ScalarType):
+                raise self._err_at("the return annotation must be a scalar dtype",
+                                   self.fdef)
+            self.return_ctype = resolved
+
+    def _resolve_annotation(self, ann, node):
+        if isinstance(ann, str):
+            try:
+                ann = eval(ann, self.pyfunc.__globals__)  # noqa: S307
+            except Exception as exc:
+                raise self._err_at(f"cannot resolve annotation {ann!r}: {exc}",
+                                   node)
+        if isinstance(ann, IntentAnnotation):
+            return ann
+        if isinstance(ann, Intent):
+            raise self._err_at(
+                f"intent {ann.name} needs an element type: {ann.name}[dtype]",
+                node)
+        if isinstance(ann, ScalarType):
+            return ann
+        try:
+            return ctype_from_numpy(np.dtype(ann))
+        except TypeError:
+            raise self._err_at(
+                f"unsupported annotation {ann!r} (use a numpy dtype, "
+                "or READ/WRITE/RW/INC[dtype] for pointers)", node)
+
+    def _err_at(self, message: str, node) -> JitError:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        src = None
+        if line and 1 <= line <= len(self.source_lines):
+            src = self.source_lines[line - 1]
+        return JitError(message, self.filename,
+                        line + self.line_offset if line else 0, col, src)
+
+    # -- decoration-time checks --------------------------------------------
+
+    def _validate_structure(self) -> None:
+        """Reject unsupported statements and intent violations early."""
+        pointer_modes = {name: ann.intent for name, ann in self.params
+                         if isinstance(ann, IntentAnnotation)}
+        for node in pyast.walk(self.fdef):
+            if isinstance(node, (pyast.FunctionDef, pyast.AsyncFunctionDef)) \
+                    and node is not self.fdef:
+                raise self._err_at("nested function definitions are unsupported",
+                                   node)
+            if isinstance(node, (pyast.While, pyast.Try, pyast.With,
+                                 pyast.Raise, pyast.Assert, pyast.Delete,
+                                 pyast.Global, pyast.Nonlocal, pyast.Import,
+                                 pyast.ImportFrom, pyast.Match, pyast.Lambda,
+                                 pyast.ListComp, pyast.SetComp, pyast.DictComp,
+                                 pyast.GeneratorExp, pyast.Await, pyast.Yield,
+                                 pyast.YieldFrom, pyast.Starred)):
+                kind = type(node).__name__
+                raise self._err_at(f"unsupported construct: {kind}", node)
+            if isinstance(node, pyast.AnnAssign):
+                raise self._err_at(
+                    "annotated assignments are unsupported (a local's type "
+                    "is inferred from its value)", node)
+            # Intent checks, syntactically, at decoration time.
+            if isinstance(node, pyast.Assign):
+                for target in node.targets:
+                    self._check_pointer_store(target, pointer_modes,
+                                              augmented=False, op=None)
+            if isinstance(node, pyast.AugAssign):
+                self._check_pointer_store(node.target, pointer_modes,
+                                          augmented=True, op=node.op)
+            if isinstance(node, (pyast.Subscript, pyast.Call)):
+                self._check_pointer_read(node, pointer_modes)
+
+    def _check_pointer_store(self, target, pointer_modes, *, augmented, op) -> None:
+        if not (isinstance(target, pyast.Subscript)
+                and isinstance(target.value, pyast.Name)):
+            return
+        name = target.value.id
+        intent = pointer_modes.get(name)
+        if intent is None:
+            return
+        if intent.mode == "r":
+            raise self._err_at(
+                f"parameter {name!r} is declared READ but the body writes it",
+                target)
+        if intent is INC:
+            if not augmented or not isinstance(op, pyast.Add):
+                raise self._err_at(
+                    f"parameter {name!r} is declared INC; only += increments "
+                    "are allowed", target)
+        elif intent.mode == "w" and augmented:
+            raise self._err_at(
+                f"parameter {name!r} is declared WRITE; augmented assignment "
+                "reads the old value", target)
+
+    def _check_pointer_read(self, node, pointer_modes) -> None:
+        read_name = None
+        if isinstance(node, pyast.Subscript) \
+                and isinstance(node.ctx, pyast.Load) \
+                and isinstance(node.value, pyast.Name):
+            read_name = node.value.id
+        elif isinstance(node, pyast.Call) and node.args \
+                and isinstance(node.args[0], pyast.Name) \
+                and ((isinstance(node.func, pyast.Name)
+                      and node.func.id == "get")
+                     or (isinstance(node.func, pyast.Attribute)
+                         and node.func.attr == "get")):
+            read_name = node.args[0].id
+        if read_name is None:
+            return
+        intent = pointer_modes.get(read_name)
+        if intent is not None and intent.mode == "w":
+            raise self._err_at(
+                f"parameter {read_name!r} is declared WRITE but the body "
+                "reads it", node)
+        if intent is INC:
+            raise self._err_at(
+                f"parameter {read_name!r} is declared INC and must only be "
+                "incremented", node)
+
+    def _detect_outputs(self) -> Optional[int]:
+        counts = set()
+        for node in pyast.walk(self.fdef):
+            if isinstance(node, pyast.Return) and node.value is not None:
+                if isinstance(node.value, pyast.Tuple):
+                    counts.add(len(node.value.elts))
+                else:
+                    counts.add(1)
+        if not counts:
+            return None
+        if counts == {1}:
+            return None
+        if len(counts) > 1:
+            raise self._err_at(
+                "all return statements must return the same number of values",
+                self.fdef)
+        return counts.pop()
+
+    # -- multi-output ------------------------------------------------------
+
+    @property
+    def outputs(self) -> Tuple["JitFunction", ...]:
+        """Component functions of a tuple-returning (multi-output) jit."""
+        if self.n_outputs is None:
+            raise JitError(
+                f"{self.__name__} returns a single value; .outputs is only "
+                "available on tuple-returning functions")
+        if self._outputs is None:
+            self._outputs = tuple(
+                JitFunction(self.pyfunc, component=i, parent=self)
+                for i in range(self.n_outputs))
+        return self._outputs
+
+    # -- specialization ----------------------------------------------------
+
+    def is_fully_annotated(self) -> bool:
+        return all(ann is not None for _, ann in self.params)
+
+    def signature_ctypes(self) -> Tuple:
+        """The annotated parameter ctypes (None for unannotated)."""
+        out = []
+        for _, ann in self.params:
+            if isinstance(ann, IntentAnnotation):
+                out.append(ann)
+            else:
+                out.append(ann)
+        return tuple(out)
+
+    def resolve_param_ctypes(self, hints: Optional[Sequence] = None) -> Tuple:
+        """Merge annotations with call-site ``hints`` (ScalarTypes)."""
+        hints = list(hints) if hints is not None else []
+        resolved = []
+        for index, (name, ann) in enumerate(self.params):
+            hint = hints[index] if index < len(hints) else None
+            if ann is not None:
+                resolved.append(ann)
+            elif isinstance(hint, (ScalarType, JType)):
+                resolved.append(hint)
+            else:
+                raise JitError(
+                    f"cannot infer a type for parameter {name!r} of "
+                    f"{self.__name__}; annotate it or call the skeleton "
+                    "with typed containers", self.filename,
+                    self.fdef.lineno + self.line_offset)
+        return tuple(resolved)
+
+    def _lowered(self, param_ctypes: Tuple) -> Lowered:
+        key = param_ctypes
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        lparams = []
+        for (name, _), ctype in zip(self.params, param_ctypes):
+            if isinstance(ctype, IntentAnnotation):
+                mode = "inc" if ctype.intent is INC else ctype.intent.mode
+                lparams.append(LoweredParam(name, JPointer(
+                    ctype.element, mode, ctype.intent.name)))
+            else:
+                lparams.append(LoweredParam(name, ctype))
+        lowerer = Lowerer(
+            name=self._name, filename=self.filename, fdef=self.fdef,
+            source_lines=self.source_lines, line_offset=self.line_offset,
+            params=lparams, return_ctype=self.return_ctype,
+            component=self.component, n_outputs=self.n_outputs)
+        lowered = lowerer.lower()
+        self._cache[key] = lowered
+        return lowered
+
+    def lower_source(self, hints: Optional[Sequence] = None) -> str:
+        """The full lowered OpenCL-C source (helpers + markers included)."""
+        if self.n_outputs is not None and self.component is None:
+            raise JitError(
+                f"{self.__name__} returns {self.n_outputs} values; lower its "
+                f"components via {self.__name__}.outputs", self.filename,
+                self.fdef.lineno + self.line_offset)
+        param_ctypes = self.resolve_param_ctypes(hints)
+        lowered = self._lowered(param_ctypes)
+        text = JitPrinter(self.filename).print_program(lowered.program)
+        if lowered.intent_markers:
+            text = "\n".join(lowered.intent_markers) + "\n" + text
+        return text
+
+    # -- host execution ----------------------------------------------------
+
+    def __call__(self, *args, **kwargs):
+        """Execute the original Python function (the host oracle)."""
+        result = self.pyfunc(*args, **kwargs)
+        if self.component is not None:
+            return result[self.component]
+        return result
+
+    def __repr__(self) -> str:
+        params = ", ".join(name for name, _ in self.params)
+        return f"<skelcl.jit {self.__name__}({params})>"
+
+
+def jit(fn=None):
+    """Decorator: compile a Python function for use as a skeleton
+    customizer.  Usable bare (``@skelcl.jit``) or called
+    (``@skelcl.jit()``)."""
+    if fn is None:
+        return jit
+    if isinstance(fn, JitFunction):
+        return fn
+    if not callable(fn):
+        raise TypeError("@skelcl.jit expects a function")
+    _ = math  # the lowering recognizes the stdlib math module by name
+    return JitFunction(fn)

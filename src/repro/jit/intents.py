@@ -1,0 +1,69 @@
+"""PyOP2-style access descriptors for jit pointer parameters.
+
+A pointer parameter of a jitted function declares *how* the kernel uses
+the buffer by annotating it with an intent subscripted by the element
+type::
+
+    @skelcl.jit
+    def stencil(m: skelcl.READ[np.float32]) -> np.float32:
+        return (get(m, -1) + get(m, 1)) / 2.0
+
+The declared intent is the contract: it is emitted verbatim into the
+lowered kernel source (as an ``/*@intent:...*/`` marker) and consumed
+by SkelSan's access analysis *instead of* re-deriving the modes from
+the body — exactly PyOP2's READ/WRITE/RW/INC semantics.  The frontend
+checks the body against the declaration at decoration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kernelc.ctypes_ import ScalarType, ctype_from_numpy
+
+
+@dataclass(frozen=True)
+class IntentAnnotation:
+    """An intent bound to an element type: ``READ[np.float32]``."""
+
+    intent: "Intent"
+    element: ScalarType
+
+    def __repr__(self) -> str:
+        return f"{self.intent.name}[{self.element.name}]"
+
+
+@dataclass(frozen=True)
+class Intent:
+    """An access descriptor: how a kernel argument is accessed.
+
+    ``mode`` is the SkelSan access mode the declaration maps to:
+    READ → ``r``, WRITE → ``w``, RW → ``rw``, INC → ``rw`` (an
+    increment both reads and writes the location).
+    """
+
+    name: str
+    mode: str
+
+    def __getitem__(self, element) -> IntentAnnotation:
+        if isinstance(element, ScalarType):
+            ctype = element
+        else:
+            try:
+                ctype = ctype_from_numpy(np.dtype(element))
+            except TypeError as exc:
+                raise TypeError(
+                    f"{self.name}[...] needs an element dtype, got {element!r}"
+                ) from exc
+        return IntentAnnotation(self, ctype)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+READ = Intent("READ", "r")
+WRITE = Intent("WRITE", "w")
+RW = Intent("RW", "rw")
+INC = Intent("INC", "rw")

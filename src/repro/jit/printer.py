@@ -1,0 +1,72 @@
+"""Printing lowered kernelc ASTs with Python-origin markers.
+
+Each emitted line that originates from a Python statement carries a
+trailing ``/*@py:file:line*/`` marker comment.  The markers survive the
+whole downstream pipeline untouched — the preprocessor passes comments
+through verbatim, skeleton templates embed the user source textually,
+and fusion's whole-word renames leave them intact — so
+:class:`~repro.kernelc.source.SourceFile` can recover the Python
+file/line for any generated line and diagnostics can point at the code
+the user actually wrote.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ..kernelc import ast as kast
+from ..kernelc.printer import Printer
+
+_MARKER = re.compile(r" ?/\*@(?:py|intent):[^*]*\*/")
+
+
+def strip_markers(source: str) -> str:
+    """Remove ``/*@py:...*/`` and ``/*@intent:...*/`` markers, leaving
+    the plain OpenCL-C a human would have written.  Lines that were
+    nothing but a marker disappear entirely."""
+    out = []
+    for line in source.split("\n"):
+        stripped = _MARKER.sub("", line).rstrip()
+        if not stripped and _MARKER.search(line):
+            continue
+        out.append(stripped)
+    return "\n".join(out)
+
+
+class JitPrinter(Printer):
+    """A printer that appends ``/*@py:...*/`` origin markers.
+
+    Lowered statements carry a ``_py_line`` attribute; nested emissions
+    inherit the innermost enclosing statement's line.
+    """
+
+    def __init__(self, origin_file: str, indent: str = "    "):
+        super().__init__(indent)
+        # A marker must not terminate the comment early.
+        self.origin_file = origin_file.replace("*/", "_")
+        self._origin_stack: List[Optional[int]] = [None]
+
+    def _emit(self, text: str) -> None:
+        line = self._origin_stack[-1]
+        if line is not None and text.strip() not in ("", "{", "}"):
+            text = f"{text} /*@py:{self.origin_file}:{line}*/"
+        super()._emit(text)
+
+    def _push(self, node) -> None:
+        line = getattr(node, "_py_line", None)
+        self._origin_stack.append(line if line is not None else self._origin_stack[-1])
+
+    def print_function(self, function: kast.FunctionDef) -> None:
+        self._push(function)
+        try:
+            super().print_function(function)
+        finally:
+            self._origin_stack.pop()
+
+    def stmt(self, stmt: kast.Stmt) -> None:
+        self._push(stmt)
+        try:
+            super().stmt(stmt)
+        finally:
+            self._origin_stack.pop()

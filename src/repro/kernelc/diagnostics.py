@@ -32,12 +32,22 @@ class Diagnostic:
         # emitting a bogus "<kernel>:0:0:" prefix with no snippet.
         located = self.span is not None and self.span.start.line > 0
         where = ""
+        origin = None
         if located:
             name = source.name if source is not None else "<kernel>"
             where = f"{name}:{self.span.start}: "
+            if source is not None:
+                # Jit-lowered code: prefer the Python file/line the
+                # offending generated line came from.
+                origin = source.origin(self.span.start.line)
+                if origin is not None:
+                    where = f"{origin[0]}:{origin[1]}: "
         text = f"{where}{self.severity.value}: {self.message}"
         if source is not None and located:
             text += "\n" + source.snippet(self.span)
+            if origin is not None:
+                text += (f"\n(generated from {origin[0]}:{origin[1]}; "
+                         f"generated kernel line {self.span.start.line})")
         return text
 
 

@@ -8,7 +8,16 @@ that diagnostics can show precise carets, exactly like a real compiler.
 from __future__ import annotations
 
 import bisect
+import re
 from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+# Origin markers emitted by the jit frontend: ``/*@py:file.py:12*/``
+# maps a generated line back to the Python source it was lowered from;
+# ``/*@intent:func.param=rw*/`` records a declared access intent that
+# the access analysis consumes verbatim.
+_ORIGIN_MARKER = re.compile(r"/\*@py:([^:*]+):(\d+)\*/")
+_INTENT_MARKER = re.compile(r"/\*@intent:(\w+)\.(\w+)=(r|w|rw)\*/")
 
 
 @dataclass(frozen=True)
@@ -55,6 +64,24 @@ class SourceFile:
         for i, ch in enumerate(text):
             if ch == "\n":
                 self._line_starts.append(i + 1)
+        # Python-origin markers (jit-lowered code): 1-based generated
+        # line → (python file, python line).
+        self.origins: Dict[int, Tuple[str, int]] = {}
+        # Declared access intents: (function, parameter) → mode.
+        self.declared_intents: Dict[Tuple[str, str], str] = {}
+        if "/*@" in text:
+            for line_number, line in enumerate(text.split("\n"), start=1):
+                match = _ORIGIN_MARKER.search(line)
+                if match:
+                    self.origins[line_number] = (match.group(1), int(match.group(2)))
+                for intent in _INTENT_MARKER.finditer(line):
+                    key = (intent.group(1), intent.group(2))
+                    self.declared_intents[key] = intent.group(3)
+
+    def origin(self, line: int) -> Optional[Tuple[str, int]]:
+        """The Python ``(file, line)`` a generated line was lowered
+        from, if the line carries an origin marker."""
+        return self.origins.get(line)
 
     def location(self, offset: int) -> Location:
         """Map a character offset to a 1-based :class:`Location`."""

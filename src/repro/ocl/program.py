@@ -107,7 +107,8 @@ class Program:
         """Under ``SKELCL_SANITIZE=strict``, lint errors fail the build."""
         errors = [d for d in self.lint_diagnostics if d.severity is Severity.ERROR]
         if errors and resolve_sanitize_mode(None) is SanitizeMode.STRICT:
-            rendered = "\n".join(d.render() for d in errors)
+            source = getattr(getattr(self._compiled, "program", None), "source", None)
+            rendered = "\n".join(d.render(source) for d in errors)
             self.build_log = rendered
             raise BuildError(rendered)
 

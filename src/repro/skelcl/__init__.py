@@ -9,7 +9,8 @@ The paper's three enhancements over raw OpenCL:
    :class:`Block`, :class:`Overlap` with implicit redistribution (§3.2).
 3. **Algorithmic skeletons** — :class:`Map`, :class:`Zip`,
    :class:`Reduce`, :class:`Scan` (§3.3), :class:`MapOverlap` (§3.4) and
-   :class:`AllPairs` (§3.5), customized with OpenCL-C function strings.
+   :class:`AllPairs` (§3.5), customized with OpenCL-C function strings
+   or with ``@skelcl.jit``-decorated Python functions (``docs/jit.md``).
 
 The dot-product example from Listing 1.1::
 
@@ -23,6 +24,8 @@ The dot-product example from Listing 1.1::
     c = sum_(mult(a, b)).get_value()
 """
 
+from ..jit import (INC, Intent, IntentAnnotation, JitError, JitFunction, READ,
+                   RW, WRITE, get, jit)
 from .allpairs import AllPairs
 from .container import Container
 from .distribution import Block, Chunk, Copy, Distribution, Overlap, Single, block, block_ranges, copy, overlap, single
@@ -51,14 +54,21 @@ __all__ = [
     "Copy",
     "DEFAULT_WORK_GROUP_SIZE",
     "Distribution",
+    "INC",
     "IndexMatrix",
     "IndexVector",
+    "Intent",
+    "IntentAnnotation",
+    "JitError",
+    "JitFunction",
     "Map",
     "MapOverlap",
     "Matrix",
     "Overlap",
     "PARTITION_POLICIES",
     "Partition",
+    "READ",
+    "RW",
     "Reduce",
     "SCL_NEAREST",
     "SCL_NEUTRAL",
@@ -70,14 +80,17 @@ __all__ = [
     "SkelCLError",
     "Skeleton",
     "Vector",
+    "WRITE",
     "Zip",
     "block",
     "block_ranges",
     "configure",
     "copy",
     "current_settings",
+    "get",
     "get_runtime",
     "init",
+    "jit",
     "is_initialized",
     "modeled_throughput",
     "overlap",

@@ -165,6 +165,14 @@ class AllPairs:
                     "the tiled AllPairs optimization requires the zip/reduce form "
                     "(an opaque row function cannot be restructured)"
                 )
+            from ..jit import JitFunction
+
+            if isinstance(source, JitFunction):
+                # AllPairs never sees a container element type directly
+                # (the row function takes pointers), so a jit row
+                # function must be fully annotated — lower_source raises
+                # with the unannotated parameter otherwise.
+                source = source.lower_source()
             self.user = parse_user_function(source)
             if self.user.arity != 3:
                 raise SkelCLError(
@@ -176,6 +184,12 @@ class AllPairs:
         else:
             if reduce is None or zip is None:
                 raise SkelCLError("AllPairs needs a Reduce and a Zip (or a raw source)")
+            if zip.user is None or reduce.user is None:
+                raise SkelCLError(
+                    "AllPairs needs specialized operators: annotate the "
+                    "@skelcl.jit zip/reduce functions so their element "
+                    "types are known at construction"
+                )
             if zip.left_type != zip.right_type:
                 raise SkelCLError("AllPairs zip operator must combine equal element types")
             if reduce.element_type != zip.out_type:

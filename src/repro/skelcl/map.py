@@ -72,8 +72,11 @@ __kernel void skelcl_map_index_m(__global {out_type}* SCL_OUT,
 
 
 class Map(Skeleton):
-    def __init__(self, source: str, work_group_size: int = DEFAULT_WORK_GROUP_SIZE):
+    def __init__(self, source, work_group_size: int = DEFAULT_WORK_GROUP_SIZE):
+        self.work_group_size = work_group_size
         super().__init__(source)
+
+    def _bind_user(self) -> None:
         if self.user.arity < 1:
             raise SkelCLError("a Map customizing function needs at least one parameter")
         self.in_type = scalar_param(self.user, 0)
@@ -81,7 +84,22 @@ class Map(Skeleton):
         self.extra_types = [scalar_param(self.user, 1 + i)
                             for i in range(self.user.arity - 1)]
         _ = extra_args_of  # extra types validated above
-        self.work_group_size = work_group_size
+
+    def _specialize_call(self, input_container, extra_args) -> None:
+        """Specialize a jit customizer from this call's argument types
+        (index containers supply ``long`` index parameters)."""
+        if self.jit is None:
+            return
+        from ..kernelc.ctypes_ import LONG
+        from .index import IndexMatrix, IndexVector
+
+        if isinstance(input_container, IndexMatrix):
+            hints = [LONG, LONG] + [self._hint_for_extra(v) for v in extra_args]
+        elif isinstance(input_container, IndexVector):
+            hints = [LONG] + [self._hint_for_extra(v) for v in extra_args]
+        else:
+            hints = self._element_hints([input_container], extra_args)
+        self._specialize(hints)
 
     def kernel_source(self) -> str:
         return _KERNEL_TEMPLATE.format(
@@ -178,6 +196,7 @@ class Map(Skeleton):
                  sample_fraction: Optional[float] = None):
         from .index import IndexMatrix, IndexVector
 
+        self._specialize_call(input_container, extra_args)
         planner = getattr(get_runtime(), "planner", None)
         if (planner is not None and out is None and sample_fraction is None
                 and not isinstance(input_container, (IndexMatrix, IndexVector))
@@ -190,6 +209,7 @@ class Map(Skeleton):
     def _execute(self, input_container: Union[Vector, Matrix], extra_args=(),
                  *, out: Optional[Container] = None, label: Optional[str] = None,
                  sample_fraction: Optional[float] = None):
+        self._specialize_call(input_container, extra_args)
         self._begin_call(label)
         runtime = get_runtime()
         from .index import IndexMatrix, IndexVector

@@ -224,19 +224,21 @@ _MATRIX_LOAD_NEAREST = """\
 
 
 class MapOverlap(Skeleton):
-    def __init__(self, source: str, overlap: int,
+    def __init__(self, source, overlap: int,
                  boundary: BoundaryMode = BoundaryMode.NEUTRAL, neutral=0,
                  static_bounds: bool = True):
         super().__init__(source)
+        if self.user is None:
+            # A jit customizer left unspecialized: its pointer parameter
+            # carries no intent annotation, so the element type (and the
+            # bounds proof below) cannot be derived.
+            raise SkelCLError(
+                "a @skelcl.jit MapOverlap function must annotate its "
+                "neighbourhood parameter with an intent, e.g. "
+                "m: skelcl.READ[np.float32]"
+            )
         if overlap < 0:
             raise SkelCLError(f"overlap range must be non-negative, got {overlap}")
-        if self.user.arity != 1:
-            raise SkelCLError(
-                "a MapOverlap customizing function takes exactly one pointer parameter"
-            )
-        self.pointer_type = pointer_param(self.user, 0)
-        self.in_type = self.pointer_type.pointee
-        self.out_type = scalar_return(self.user)
         self.overlap = overlap
         self.boundary = boundary
         self.neutral = neutral
@@ -247,6 +249,15 @@ class MapOverlap(Skeleton):
 
         self.bounds_proof = analyze_get_bounds(self.user.definition, overlap)
         self.checks_elided = static_bounds and self.bounds_proof.proven
+
+    def _bind_user(self) -> None:
+        if self.user.arity != 1:
+            raise SkelCLError(
+                "a MapOverlap customizing function takes exactly one pointer parameter"
+            )
+        self.pointer_type = pointer_param(self.user, 0)
+        self.in_type = self.pointer_type.pointee
+        self.out_type = scalar_return(self.user)
 
     @property
     def effective_overlap(self) -> int:

@@ -90,17 +90,19 @@ __kernel void skelcl_reduce_fused(__global const {in_t}* SCL_IN,
 
 
 class Reduce(Skeleton):
-    def __init__(self, source: str, identity: str = "0",
+    def __init__(self, source, identity: str = "0",
                  work_group_size: int = DEFAULT_WORK_GROUP_SIZE, max_groups: int = 64):
+        self.identity = identity
+        self.work_group_size = work_group_size
+        self.max_groups = max_groups
         super().__init__(source)
+
+    def _bind_user(self) -> None:
         if self.user.arity != 2:
             raise SkelCLError("a Reduce customizing function needs exactly two parameters")
         self.element_type = scalar_param(self.user, 0)
         if scalar_param(self.user, 1) != self.element_type or scalar_return(self.user) != self.element_type:
             raise SkelCLError("a Reduce operator must have type T (T, T)")
-        self.identity = identity
-        self.work_group_size = work_group_size
-        self.max_groups = max_groups
 
     def kernel_source(self) -> str:
         return _KERNEL_TEMPLATE.format(
@@ -134,6 +136,8 @@ class Reduce(Skeleton):
             raise SkelCLError(
                 f"Reduce out= must be a Scalar, got {type(out).__name__}"
             )
+        if self.jit is not None and isinstance(input_container, (Vector, Matrix)):
+            self._specialize(self._element_hints([input_container] * 2, ()))
         planner = getattr(get_runtime(), "planner", None)
         if planner is not None and isinstance(input_container, (Vector, Matrix)):
             label = label or default_call_label("Reduce", self.user.name)
@@ -143,6 +147,9 @@ class Reduce(Skeleton):
     def _execute(self, input_container: Union[Vector, Matrix], *,
                  out: Optional[Scalar] = None, label: Optional[str] = None,
                  premap=None) -> Scalar:
+        if self.jit is not None and premap is None \
+                and isinstance(input_container, (Vector, Matrix)):
+            self._specialize(self._element_hints([input_container] * 2, ()))
         self._begin_call(label)
         runtime = get_runtime()
         dtype = self.result_dtype(self.element_type)

@@ -38,6 +38,11 @@ class Scalar:
         self._force()
         return self._value.item()
 
+    def to_numpy(self):
+        """The typed value (a NumPy scalar of :attr:`dtype`)."""
+        self._force()
+        return self._value
+
     @property
     def dtype(self) -> np.dtype:
         return self._dtype

@@ -90,14 +90,16 @@ __kernel void skelcl_scan_add_offset(__global {t}* SCL_OUT,
 
 
 class Scan(Skeleton):
-    def __init__(self, source: str, identity: str = "0"):
+    def __init__(self, source, identity: str = "0"):
+        self.identity = identity
         super().__init__(source)
+
+    def _bind_user(self) -> None:
         if self.user.arity != 2:
             raise SkelCLError("a Scan customizing function needs exactly two parameters")
         self.element_type = scalar_param(self.user, 0)
         if scalar_param(self.user, 1) != self.element_type or scalar_return(self.user) != self.element_type:
             raise SkelCLError("a Scan operator must have type T (T, T)")
-        self.identity = identity
 
     def kernel_source(self) -> str:
         return _KERNEL_TEMPLATE.format(
@@ -114,6 +116,8 @@ class Scan(Skeleton):
         reject_positional_out(_deprecated, "Scan")
         if not isinstance(input_vector, Vector):
             raise SkelCLError("Scan operates on vectors")
+        if self.jit is not None:
+            self._specialize(self._element_hints([input_vector] * 2, ()))
         dtype = self.result_dtype(self.element_type)
         if input_vector.dtype != dtype:
             raise SkelCLError(
@@ -130,6 +134,8 @@ class Scan(Skeleton):
 
     def _execute(self, input_vector: Vector, *, out: Optional[Vector] = None,
                  label: Optional[str] = None) -> Vector:
+        if self.jit is not None:
+            self._specialize(self._element_hints([input_vector] * 2, ()))
         self._begin_call(label)
         runtime = get_runtime()
         dtype = self.result_dtype(self.element_type)

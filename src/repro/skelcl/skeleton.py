@@ -19,16 +19,18 @@ from __future__ import annotations
 import os.path
 import re
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from .. import ocl
-from ..kernelc.ctypes_ import ScalarType
+from ..jit import JitFunction
+from ..jit.lower import WEAK_FLOAT, WEAK_INT
+from ..kernelc.ctypes_ import ScalarType, ctype_from_numpy
 from .distribution import Block, Distribution, Overlap
 from .funcparse import UserFunction, parse_user_function
 from .runtime import SkelCLError, get_runtime
-from .types_ import dtype_for_ctype
+from .types_ import ctype_for_dtype, dtype_for_ctype
 
 # SkelCL's default work-group size (§4.1: "SkelCL uses its default
 # work-group size of 256").
@@ -109,13 +111,85 @@ def scalar_literal(value, ctype: ScalarType) -> str:
 
 
 class Skeleton:
-    """Base of all skeletons: program caching and launch helpers."""
+    """Base of all skeletons: program caching and launch helpers.
 
-    def __init__(self, source: str):
-        self.user: UserFunction = parse_user_function(source)
+    A skeleton is customized either by an OpenCL-C source string or by
+    a :class:`repro.jit.JitFunction` (a ``@skelcl.jit``-decorated Python
+    function).  A jitted customizer is *specialized* — lowered to
+    OpenCL-C at concrete parameter types — eagerly when every parameter
+    is annotated, otherwise lazily at the first call from the container
+    dtypes.  After specialization ``self.user`` is indistinguishable
+    from the string path, so code generation, caching, fusion and the
+    analyses all run unchanged.
+    """
+
+    def __init__(self, source: Union[str, JitFunction]):
         self._programs: Dict[str, ocl.Program] = {}
         self.last_events: List[ocl.Event] = []
         self._call_label: Optional[str] = None
+        if isinstance(source, JitFunction):
+            self.jit: Optional[JitFunction] = source
+            self.user: Optional[UserFunction] = None
+            self._jit_key = None
+            if source.is_fully_annotated() and (
+                    source.n_outputs is None or source.component is not None):
+                self._specialize_for(source.resolve_param_ctypes())
+        else:
+            self.jit = None
+            self.user = parse_user_function(source)
+            self._bind_user()
+
+    # -- jit specialization --------------------------------------------------
+
+    def _bind_user(self) -> None:
+        """Validate ``self.user`` and extract the signature-driven
+        attributes (element/output/extra types).  Subclasses override;
+        called every time ``self.user`` is (re)bound."""
+
+    def _specialize_for(self, param_ctypes) -> None:
+        """Bind ``self.user`` to the jit customizer lowered at
+        ``param_ctypes`` (annotations merged with call-site hints)."""
+        key = tuple(param_ctypes)
+        if self.user is not None and key == self._jit_key:
+            return
+        if self.user is not None:
+            # Re-specializing to different types: lazily-planned stages
+            # captured the previous specialization's source — force them
+            # out before the signature changes under them.
+            planner = getattr(get_runtime(), "planner", None)
+            if planner is not None:
+                planner.flush()
+        self.user = parse_user_function(self.jit.lower_source(param_ctypes))
+        self._jit_key = key
+        self._bind_user()
+
+    def _specialize(self, hints: Sequence) -> None:
+        """Specialize a jit customizer for one call site; no-op for
+        string customizers and for already-matching specializations."""
+        if self.jit is not None:
+            self._specialize_for(self.jit.resolve_param_ctypes(hints))
+
+    @staticmethod
+    def _hint_for_extra(value):
+        """The type hint one additional (scalar) argument contributes.
+
+        Plain Python scalars stay *weak* — inside the kernel they take
+        part in NumPy's weak-scalar promotion exactly like the Python
+        value does in the host function.  NumPy scalars are strong."""
+        if isinstance(value, (np.integer, np.floating)):
+            return ctype_from_numpy(value.dtype)
+        if isinstance(value, (bool, int)):
+            return WEAK_INT
+        if isinstance(value, float):
+            return WEAK_FLOAT
+        return None
+
+    def _element_hints(self, containers, extra_args) -> List:
+        """Call-site hints: one element ctype per input container, then
+        one hint per additional argument."""
+        hints: List = [ctype_for_dtype(c.dtype) for c in containers]
+        hints.extend(self._hint_for_extra(v) for v in extra_args)
+        return hints
 
     # -- programs ------------------------------------------------------------
 

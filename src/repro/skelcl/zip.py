@@ -39,15 +39,17 @@ __kernel void skelcl_zip(__global const {left_type}* SCL_LEFT,
 
 
 class Zip(Skeleton):
-    def __init__(self, source: str, work_group_size: int = DEFAULT_WORK_GROUP_SIZE):
+    def __init__(self, source, work_group_size: int = DEFAULT_WORK_GROUP_SIZE):
+        self.work_group_size = work_group_size
         super().__init__(source)
+
+    def _bind_user(self) -> None:
         if self.user.arity < 2:
             raise SkelCLError("a Zip customizing function needs at least two parameters")
         self.left_type = scalar_param(self.user, 0)
         self.right_type = scalar_param(self.user, 1)
         self.out_type = scalar_return(self.user)
         self.extra_types = [scalar_param(self.user, 2 + i) for i in range(self.user.arity - 2)]
-        self.work_group_size = work_group_size
 
     def kernel_source(self) -> str:
         return _KERNEL_TEMPLATE.format(
@@ -63,6 +65,9 @@ class Zip(Skeleton):
     def __call__(self, left: Union[Vector, Matrix], right: Union[Vector, Matrix],
                  *extra_args, out: Optional[Container] = None,
                  label: Optional[str] = None):
+        if self.jit is not None and isinstance(left, (Vector, Matrix)) \
+                and isinstance(right, (Vector, Matrix)):
+            self._specialize(self._element_hints([left, right], extra_args))
         planner = getattr(get_runtime(), "planner", None)
         if (planner is not None and out is None
                 and type(left) in (Vector, Matrix)
@@ -74,6 +79,9 @@ class Zip(Skeleton):
     def _execute(self, left: Union[Vector, Matrix], right: Union[Vector, Matrix],
                  extra_args=(), *, out: Optional[Container] = None,
                  label: Optional[str] = None):
+        if self.jit is not None and isinstance(left, (Vector, Matrix)) \
+                and isinstance(right, (Vector, Matrix)):
+            self._specialize(self._element_hints([left, right], extra_args))
         self._begin_call(label)
         runtime = get_runtime()
         if type(left) is not type(right):

@@ -1,0 +1,682 @@
+"""The hand-written half of the jit differential corpus.
+
+Every function here is a ``@skelcl.jit`` customizer.  The *same object*
+serves as both sides of the differential test: executed through a
+skeleton it runs as lowered OpenCL-C; called directly it runs the
+original Python on NumPy scalars — the host oracle.  The harness in
+``test_differential.py`` demands bit-exact agreement.
+
+Cases carry a *domain* so the data generator avoids inputs where Python
+itself would fault (``math.log`` of a negative, division by zero) —
+those inputs are a property of the test data, not of the lowering.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+import repro.skelcl as skelcl
+from repro.skelcl import get
+
+
+@dataclass(frozen=True)
+class Case:
+    """One corpus entry: a jit function plus how to feed it."""
+
+    fn: object
+    dtypes: Tuple[str, ...]          # one per container input
+    extras: Tuple = ()               # additional scalar arguments
+    domain: str = "any"              # data constraint, see make_data()
+    note: str = ""
+
+
+def make_data(dtype, domain, rng, n=73):
+    """Deterministic input data honouring the case's domain."""
+    dt = np.dtype(dtype)
+    if dt.kind == "f":
+        if domain == "positive":
+            return (rng.uniform(0.125, 8.0, n)).astype(dt)
+        if domain == "unit":
+            return (rng.uniform(-0.99, 0.99, n)).astype(dt)
+        if domain == "intlike":
+            return rng.randint(-50, 50, n).astype(dt)
+        return (rng.uniform(-10.0, 10.0, n)).astype(dt)
+    if domain == "positive":
+        return rng.randint(1, 100, n).astype(dt)
+    if domain == "small":
+        return rng.randint(0, 6, n).astype(dt)
+    if domain == "nonzero":
+        data = rng.randint(1, 100, n).astype(dt)
+        return (data * rng.choice([-1, 1], n).astype(dt)).astype(dt)
+    return rng.randint(-100, 100, n).astype(dt)
+
+
+# =====================================================================
+# Map corpus: unary functions (plus additional scalar arguments).
+# =====================================================================
+
+@skelcl.jit
+def m_negate(x):
+    return -x
+
+
+@skelcl.jit
+def m_square(x):
+    return x * x
+
+
+@skelcl.jit
+def m_scale_shift(x):
+    return 2.0 * x + 1.0
+
+
+@skelcl.jit
+def m_int_arith(x):
+    return (x + 7) * 3 - 2
+
+
+@skelcl.jit
+def m_true_div(x):
+    return x / 4.0
+
+
+@skelcl.jit
+def m_int_true_div(x):
+    return x / 2
+
+
+@skelcl.jit
+def m_floordiv_const(x):
+    return x // 7
+
+
+@skelcl.jit
+def m_mod_const(x):
+    return x % 5
+
+
+@skelcl.jit
+def m_neg_floordiv(x):
+    return (x - 3) // -4
+
+
+@skelcl.jit
+def m_abs(x):
+    return abs(x)
+
+
+@skelcl.jit
+def m_min_max(x):
+    return min(max(x, -2), 2)
+
+
+@skelcl.jit
+def m_clamp_mixed(x):
+    lo = 0.5
+    return max(x, lo)
+
+
+@skelcl.jit
+def m_ternary(x):
+    return x if x > 0 else -x
+
+
+@skelcl.jit
+def m_ternary_weak(x):
+    return 1 if x > 3 else 0
+
+
+@skelcl.jit
+def m_compare_chain(x):
+    return 1.0 if 0 < x < 5 else 0.0
+
+
+@skelcl.jit
+def m_boolop(x):
+    return x * 2 if x > 1 and x < 9 else x
+
+
+@skelcl.jit
+def m_not(x):
+    return 5 if not x > 0 else 7
+
+
+@skelcl.jit
+def m_locals(x):
+    a = x + 1
+    b = a * a
+    return b - x
+
+
+@skelcl.jit
+def m_if_stmt(x):
+    y = x
+    if x > 0:
+        y = x * 3
+    else:
+        y = x - 1
+    return y
+
+
+@skelcl.jit
+def m_elif(x):
+    y = 0.0
+    if x < -1:
+        y = -1.0
+    elif x > 1:
+        y = 1.0
+    else:
+        y = x * 1.0
+    return y
+
+
+@skelcl.jit
+def m_for_loop(x):
+    acc = x
+    for i in range(4):
+        acc = acc + i
+    return acc
+
+
+@skelcl.jit
+def m_for_range2(x):
+    acc = x
+    for i in range(1, 5):
+        acc = acc * 1 + i
+    return acc
+
+
+@skelcl.jit
+def m_for_step(x):
+    acc = x
+    for i in range(10, 0, -2):
+        acc = acc + i
+    return acc
+
+
+@skelcl.jit
+def m_nested_for(x):
+    acc = x
+    for i in range(3):
+        for j in range(2):
+            acc = acc + i * j
+    return acc
+
+
+@skelcl.jit
+def m_augassign(x):
+    acc = x
+    acc += 2
+    acc *= 3
+    acc -= 1
+    return acc
+
+
+@skelcl.jit
+def m_sin_cos(x):
+    return math.sin(x) * math.cos(x)
+
+
+@skelcl.jit
+def m_exp(x):
+    return math.exp(x / 16.0)
+
+
+@skelcl.jit
+def m_log_positive(x):
+    return math.log(x)
+
+
+@skelcl.jit
+def m_sqrt_abs(x):
+    return math.sqrt(abs(x) + 1.0)
+
+
+@skelcl.jit
+def m_tanh(x):
+    return math.tanh(x)
+
+
+@skelcl.jit
+def m_atan2(x):
+    return math.atan2(x, 2.0)
+
+
+@skelcl.jit
+def m_pow(x):
+    return math.pow(abs(x) + 0.5, 1.5)
+
+
+@skelcl.jit
+def m_floor_ceil(x):
+    return math.floor(x / 3.0) + math.ceil(x / 7.0)
+
+
+@skelcl.jit
+def m_trunc(x):
+    # math.trunc needs a Python float on the host (numpy scalars define
+    # no __trunc__); float(x) is exactly the kernel's (double) cast.
+    return math.trunc(float(x) * 1.5)
+
+
+@skelcl.jit
+def m_pi(x):
+    return x * math.pi
+
+
+@skelcl.jit
+def m_int_cast(x):
+    return int(x) + 1
+
+
+@skelcl.jit
+def m_float_cast(x):
+    return float(x) / 2.0
+
+
+@skelcl.jit
+def m_bitops(x):
+    return ((x & 63) | 5) ^ 9
+
+
+@skelcl.jit
+def m_shifts(x):
+    return (x << 2) >> 1
+
+
+@skelcl.jit
+def m_invert(x):
+    return ~x
+
+
+@skelcl.jit
+def m_wrap_small(x):
+    # At int8/int16 the C result would be computed at int width; the
+    # lowering must wrap back to the operand width like NumPy does.
+    return x * x + 17
+
+
+@skelcl.jit
+def m_extra_scale(x, s):
+    return x * s
+
+
+@skelcl.jit
+def m_extra_two(x, a, b):
+    return x * a + b
+
+
+@skelcl.jit
+def m_extra_cond(x, threshold):
+    return x if x > threshold else threshold
+
+
+@skelcl.jit
+def m_annotated(x: np.float32) -> np.float32:
+    return x * 0.5 + 2.0
+
+
+@skelcl.jit
+def m_annotated_narrow(x: np.float32) -> np.int32:
+    # A declared narrower return type truncates, as np.int32(value).
+    y = x * 3.0
+    return int(y)
+
+
+@skelcl.jit
+def m_docstringed(x):
+    """Docstrings are allowed and ignored."""
+    return x + 1
+
+
+# (fn, dtypes-to-run-at, extras, domain)
+MAP_CASES = [
+    Case(m_negate, ("float32", "float64", "int32", "int64")),
+    Case(m_square, ("float32", "int32", "int16")),
+    Case(m_scale_shift, ("float32", "float64", "int32")),
+    Case(m_int_arith, ("int32", "int64", "int8")),
+    Case(m_true_div, ("float32", "float64", "int32")),
+    Case(m_int_true_div, ("int32", "int64", "float32")),
+    Case(m_floordiv_const, ("int32", "int64", "int16")),
+    Case(m_mod_const, ("int32", "int64")),
+    Case(m_neg_floordiv, ("int32",)),
+    Case(m_abs, ("float32", "int32", "int8")),
+    Case(m_min_max, ("float32", "int32")),
+    Case(m_clamp_mixed, ("float32", "float64")),
+    Case(m_ternary, ("float32", "int32")),
+    Case(m_ternary_weak, ("float32", "int32")),
+    Case(m_compare_chain, ("float32", "int32")),
+    Case(m_boolop, ("float32", "int32")),
+    Case(m_not, ("float32", "int32")),
+    Case(m_locals, ("float32", "int32")),
+    Case(m_if_stmt, ("float32", "int32")),
+    Case(m_elif, ("float32", "float64")),
+    Case(m_for_loop, ("float32", "int32")),
+    Case(m_for_range2, ("float32", "int32")),
+    Case(m_for_step, ("int32", "float32")),
+    Case(m_nested_for, ("int32", "float32")),
+    Case(m_augassign, ("float32", "int32")),
+    Case(m_sin_cos, ("float32", "float64")),
+    Case(m_exp, ("float32", "float64")),
+    Case(m_log_positive, ("float32", "float64"), domain="positive"),
+    Case(m_sqrt_abs, ("float32", "float64")),
+    Case(m_tanh, ("float32",)),
+    Case(m_atan2, ("float32", "float64")),
+    Case(m_pow, ("float32",)),
+    Case(m_floor_ceil, ("float32", "float64")),
+    Case(m_trunc, ("float32",)),
+    Case(m_pi, ("float32", "float64")),
+    Case(m_int_cast, ("float32", "int32")),
+    Case(m_float_cast, ("float32", "int32")),
+    Case(m_bitops, ("int32", "int64", "int16")),
+    Case(m_shifts, ("int32", "int64"), domain="small"),
+    Case(m_invert, ("int32", "int8")),
+    Case(m_wrap_small, ("int8", "int16")),
+    Case(m_extra_scale, ("float32",), extras=(2.5,)),
+    Case(m_extra_scale, ("float32",), extras=(np.float32(0.75),)),
+    Case(m_extra_scale, ("int32",), extras=(3,)),
+    Case(m_extra_two, ("float32",), extras=(1.5, 2.0)),
+    Case(m_extra_two, ("int32",), extras=(2, np.int32(7))),
+    Case(m_extra_cond, ("float32",), extras=(0.5,)),
+    Case(m_annotated, ("float32",)),
+    Case(m_annotated_narrow, ("float32",)),
+    Case(m_docstringed, ("float32", "int64")),
+]
+
+
+# =====================================================================
+# Zip corpus: binary functions.
+# =====================================================================
+
+@skelcl.jit
+def z_add(x, y):
+    return x + y
+
+
+@skelcl.jit
+def z_mult(x, y):
+    return x * y
+
+
+@skelcl.jit
+def z_sub_scaled(x, y):
+    return (x - y) * 0.5
+
+
+@skelcl.jit
+def z_hypot(x, y):
+    return math.sqrt(x * x + y * y)
+
+
+@skelcl.jit
+def z_select(x, y):
+    return x if x > y else y
+
+
+@skelcl.jit
+def z_mixed_promote(x, y):
+    # Mixed strong dtypes promote by np.result_type.
+    return x + y
+
+
+@skelcl.jit
+def z_div_guarded(x, y):
+    return x / (y * y + 1.0)
+
+
+@skelcl.jit
+def z_floordiv(x, y):
+    return x // y
+
+
+@skelcl.jit
+def z_mod(x, y):
+    return x % y
+
+
+@skelcl.jit
+def z_fmod(x, y):
+    return math.fmod(x, y)
+
+
+@skelcl.jit
+def z_extra(x, y, alpha):
+    return x * alpha + y
+
+
+@skelcl.jit
+def z_annotated(x: np.float32, y: np.float32) -> np.float32:
+    return x * y + 1.0
+
+
+ZIP_CASES = [
+    Case(z_add, ("float32", "float32")),
+    Case(z_add, ("int32", "int32")),
+    Case(z_mult, ("float32", "float32")),
+    Case(z_mult, ("int64", "int64")),
+    Case(z_sub_scaled, ("float32", "float32")),
+    Case(z_hypot, ("float32", "float32")),
+    Case(z_select, ("float32", "float32")),
+    Case(z_select, ("int32", "int32")),
+    Case(z_mixed_promote, ("float32", "int32")),
+    Case(z_mixed_promote, ("int16", "int32")),
+    Case(z_div_guarded, ("float32", "float32")),
+    Case(z_floordiv, ("int32", "int32"), domain="nonzero"),
+    Case(z_mod, ("int64", "int64"), domain="nonzero"),
+    Case(z_fmod, ("float32", "float32"), domain="positive"),
+    Case(z_extra, ("float32", "float32"), extras=(1.25,)),
+    Case(z_annotated, ("float32", "float32")),
+]
+
+
+# =====================================================================
+# Reduce corpus.  The operator must be associative; bit-exactness of an
+# order-insensitive oracle additionally requires exact arithmetic, so
+# float cases use min/max or integral-valued data (exact float sums).
+# =====================================================================
+
+@skelcl.jit
+def r_add(x, y):
+    return x + y
+
+
+@skelcl.jit
+def r_max(x, y):
+    return x if x > y else y
+
+
+@skelcl.jit
+def r_min(x, y):
+    return min(x, y)
+
+
+@skelcl.jit
+def r_bitor(x, y):
+    return x | y
+
+
+# (fn, identity-literal, dtype, domain)
+REDUCE_CASES = [
+    (r_add, "0", "int32", "any"),
+    (r_add, "0", "int64", "any"),
+    (r_add, "0.0", "float32", "intlike"),
+    (r_max, "-1000000", "int32", "any"),
+    (r_max, "-1000000.0", "float32", "any"),
+    (r_min, "1000000", "int64", "any"),
+    (r_min, "1000000.0", "float64", "any"),
+    (r_bitor, "0", "int32", "positive"),
+]
+
+
+# =====================================================================
+# Scan corpus (inclusive prefix; same exactness constraints as Reduce).
+# =====================================================================
+
+SCAN_CASES = [
+    (r_add, "0", "int32", "any"),
+    (r_add, "0", "int64", "any"),
+    # float32 + intlike data: prefix sums stay integral (exact at any
+    # association, so the tree-shaped device scan matches the left fold).
+    (r_add, "0.0", "float32", "intlike"),
+    (r_max, "-1000000", "int32", "any"),
+]
+
+
+# =====================================================================
+# MapOverlap corpus: stencil functions with declared intents.
+# =====================================================================
+
+@skelcl.jit
+def s_blur3(v: skelcl.READ[np.float32]) -> np.float32:
+    return (get(v, -1) + get(v, 0) + get(v, 1)) / 3.0
+
+
+@skelcl.jit
+def s_diff(v: skelcl.READ[np.float32]) -> np.float32:
+    return get(v, 1) - get(v, -1)
+
+
+@skelcl.jit
+def s_widen(v: skelcl.READ[np.int32]) -> np.int32:
+    acc = 0
+    for d in range(-2, 3):
+        acc = acc + get(v, d)
+    return int(acc)
+
+
+@skelcl.jit
+def s_cross(m: skelcl.READ[np.float32]) -> np.float32:
+    return (get(m, 0, 0) + get(m, -1, 0) + get(m, 1, 0)
+            + get(m, 0, -1) + get(m, 0, 1)) / 5.0
+
+
+# (fn, overlap, 2d?, dtype)
+STENCIL_CASES = [
+    (s_blur3, 1, False, "float32"),
+    (s_diff, 1, False, "float32"),
+    (s_widen, 2, False, "int32"),
+    (s_cross, 1, True, "float32"),
+]
+
+
+# =====================================================================
+# Multi-output (tuple-returning) corpus.
+# =====================================================================
+
+@skelcl.jit
+def t_sumdiff(x, y):
+    return x + y, x - y
+
+
+@skelcl.jit
+def t_polar(x):
+    r = abs(x) + 1.0
+    return math.log(r), math.sqrt(r)
+
+
+# =====================================================================
+# Host-oracle helpers.
+#
+# The oracle result dtype follows NEP 50 over the *host* element types:
+# NumPy scalars are strong, Python int/float results are weak
+# (``np.result_type`` implements exactly that).  ``np.array`` list
+# inference does NOT apply NEP 50, so the array is materialized
+# explicitly.  A declared return annotation pins the dtype instead —
+# the same cast the lowered kernel performs on return.
+# =====================================================================
+
+def oracle_array(values, shape, declared_dtype=None):
+    dtype = np.dtype(declared_dtype) if declared_dtype is not None \
+        else np.result_type(*values)
+    out = np.empty(len(values), dtype=dtype)
+    for i, v in enumerate(values):
+        out[i] = v
+    return out.reshape(shape)
+
+
+def declared_dtype(fn):
+    """The dtype a return annotation pins, or None."""
+    if fn.return_ctype is None:
+        return None
+    from repro.skelcl.types_ import dtype_for_ctype
+    return dtype_for_ctype(fn.return_ctype)
+
+
+def host_map(fn, data, extras=()):
+    """The NumPy host oracle for an elementwise function: apply the
+    *Python* function to every element as a NumPy scalar."""
+    with np.errstate(over="ignore"):  # small-int wraparound is the point
+        values = [fn(v, *extras) for v in data.reshape(-1)]
+    return oracle_array(values, data.shape, declared_dtype(fn))
+
+
+def host_zip(fn, left, right, extras=()):
+    with np.errstate(over="ignore"):
+        values = [fn(a, b, *extras)
+                  for a, b in zip(left.reshape(-1), right.reshape(-1))]
+    return oracle_array(values, left.shape, declared_dtype(fn))
+
+
+def host_reduce(fn, data):
+    """Left fold over the data (the identity is neutral by contract)."""
+    acc = data[0]
+    for v in data[1:]:
+        acc = fn(acc, v)
+    return acc
+
+
+def host_scan(fn, data):
+    """Inclusive left prefix fold."""
+    acc = data[0]
+    out = [acc]
+    for v in data[1:]:
+        acc = fn(acc, v)
+        out.append(acc)
+    return np.array(out, dtype=data.dtype)
+
+
+class Neighbourhood:
+    """Host-side stencil view: what ``get(m, ...)`` reads in a jitted
+    function running as the oracle.  Mirrors MapOverlap's accessor:
+    ``get(v, di)`` on vectors, ``get(m, dx, dy)`` on matrices (``dx`` is
+    the column offset), with NEUTRAL or NEAREST boundary handling."""
+
+    def __init__(self, data, i, j=None, *, neutral=None):
+        self.data = data
+        self.i = i
+        self.j = j
+        self.neutral = neutral
+
+    def get(self, *offsets):
+        if self.data.ndim == 1:
+            (di,) = offsets
+            idx = self.i + di
+            if 0 <= idx < self.data.shape[0]:
+                return self.data[idx]
+            if self.neutral is not None:
+                return self.data.dtype.type(self.neutral)
+            return self.data[min(max(idx, 0), self.data.shape[0] - 1)]
+        dx, dy = offsets
+        row, col = self.i + dy, self.j + dx
+        if 0 <= row < self.data.shape[0] and 0 <= col < self.data.shape[1]:
+            return self.data[row, col]
+        if self.neutral is not None:
+            return self.data.dtype.type(self.neutral)
+        row = min(max(row, 0), self.data.shape[0] - 1)
+        col = min(max(col, 0), self.data.shape[1] - 1)
+        return self.data[row, col]
+
+
+def host_mapoverlap(fn, data, *, neutral=None):
+    """Oracle for MapOverlap: run the Python function per element with a
+    Neighbourhood view standing in for the pointer parameter."""
+    if data.ndim == 1:
+        values = [fn(Neighbourhood(data, i, neutral=neutral))
+                  for i in range(data.shape[0])]
+    else:
+        values = [fn(Neighbourhood(data, i, j, neutral=neutral))
+                  for i in range(data.shape[0])
+                  for j in range(data.shape[1])]
+    return oracle_array(values, data.shape, declared_dtype(fn))

@@ -1,0 +1,50 @@
+"""The ``python -m repro.jit`` kernel-dump driver.
+
+The CLI lowers every ``@skelcl.jit`` function of a module to ``.cl``
+files; with ``--lint-harness`` the dumps are standalone kernelc
+sources, which is how the CI job feeds them to
+``python -m repro.kernelc --lint --access``.
+"""
+
+from pathlib import Path
+
+from repro.jit.__main__ import main
+from repro.kernelc.frontend import compile_source
+from repro.kernelc.lint import lint_program
+
+
+def test_dump_module_to_directory(tmp_path, capsys):
+    assert main(["repro.apps.sobel", "-o", str(tmp_path)]) == 0
+    listed = capsys.readouterr().out.strip().split("\n")
+    assert listed == [str(tmp_path / "sobel_py.cl")]
+    source = (tmp_path / "sobel_py.cl").read_text()
+    assert "uchar sobel_py(const uchar* img)" in source
+    assert "/*@intent:sobel_py.img=r*/" in source
+
+
+def test_dump_by_file_path_and_name(tmp_path, capsys):
+    quickstart = Path(__file__).parents[2] / "examples" / "quickstart.py"
+    assert main([f"{quickstart}:mult_py", "-o", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "mult_py.cl").exists()
+    assert not (tmp_path / "sum_py.cl").exists()
+
+
+def test_list_names_functions(capsys):
+    assert main(["repro.apps.sobel", "--list"]) == 0
+    assert capsys.readouterr().out.strip() == "sobel_py"
+
+
+def test_missing_function_fails(capsys):
+    assert main(["repro.apps.sobel:nope"]) == 1
+    assert "no @skelcl.jit function 'nope'" in capsys.readouterr().err
+
+
+def test_lint_harness_makes_stencils_standalone(tmp_path, capsys):
+    assert main(["repro.apps.sobel", "--lint-harness",
+                 "-o", str(tmp_path)]) == 0
+    capsys.readouterr()
+    source = (tmp_path / "sobel_py.cl").read_text()
+    # The dump compiles and lints clean as a standalone kernelc source.
+    program = compile_source(source, "sobel_py.cl")
+    assert lint_program(program) == []

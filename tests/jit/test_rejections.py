@@ -1,0 +1,216 @@
+"""Unsupported constructs are rejected with located diagnostics.
+
+Every rejection raises :class:`skelcl.JitError` whose ``render()``
+pins the *Python* source position — ``file:line:col``, the offending
+source line, and a caret under the construct — matching the kernelc
+diagnostic format.  Structural rejections fire at decoration time;
+type-dependent ones fire eagerly too when the function is fully
+annotated.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+from repro.skelcl import JitError
+
+
+def reject(match):
+    return pytest.raises(JitError, match=match)
+
+
+class TestStructuralRejections:
+    def test_power_operator(self):
+        with reject(r"\*\* operator is unsupported"):
+            @skelcl.jit
+            def f(x: np.float32) -> np.float32:
+                return x ** 2
+
+    def test_while_loop(self):
+        with reject("unsupported construct: While"):
+            @skelcl.jit
+            def f(x):
+                while x > 0:
+                    x = x - 1
+                return x
+
+    def test_nested_def(self):
+        with reject("nested function definitions are unsupported"):
+            @skelcl.jit
+            def f(x):
+                def g(y):
+                    return y
+                return g(x)
+
+    def test_lambda(self):
+        with reject("unsupported construct: Lambda"):
+            @skelcl.jit
+            def f(x):
+                g = lambda y: y + 1
+                return g(x)
+
+    def test_comprehension(self):
+        with reject("unsupported construct"):
+            @skelcl.jit
+            def f(x):
+                return sum([x for _ in range(3)])
+
+    def test_annotated_assignment(self):
+        with reject("annotated assignments are unsupported"):
+            @skelcl.jit
+            def f(x):
+                t: float = x * 2
+                return t
+
+    def test_chained_assignment(self):
+        with reject("chained assignment is unsupported"):
+            @skelcl.jit
+            def f(x: np.float32) -> np.float32:
+                a = b = x
+                return a + b
+
+    def test_tuple_outside_return(self):
+        with reject("tuples are only supported as a whole-function "
+                    "multi-output return"):
+            @skelcl.jit
+            def f(x: np.float32) -> np.float32:
+                a, b = x, x
+                return a + b
+
+    def test_keyword_arguments(self):
+        with reject("keyword arguments are unsupported"):
+            @skelcl.jit
+            def f(x: np.float32) -> np.float32:
+                return min(x, b=2)
+
+    def test_missing_return(self):
+        with reject("must return a value"):
+            @skelcl.jit
+            def f(x: np.float32) -> np.float32:
+                t = x + 1
+
+    def test_function_without_source_file(self):
+        namespace = {}
+        exec("def g(x):\n    return x\n", namespace)
+        with reject("needs a .*function defined in a file"):
+            skelcl.jit(namespace["g"])
+
+
+class TestTypeRejections:
+    def test_undefined_name(self):
+        with reject("undefined name 'q'"):
+            @skelcl.jit
+            def f(x: np.float32) -> np.float32:
+                return x + q
+
+    def test_bool_constant_in_expression(self):
+        with reject("True/False are only supported in conditions"):
+            @skelcl.jit
+            def f(x: np.float32) -> np.float32:
+                return x + True
+
+    def test_conflicting_local_types(self):
+        with reject("assigned conflicting types"):
+            @skelcl.jit
+            def f(x: np.int32) -> np.int32:
+                t = x
+                t = 1.5
+                return t
+
+    def test_floordiv_on_floats(self):
+        with reject("// and % are only supported on integers"):
+            @skelcl.jit
+            def f(x: np.float32) -> np.float32:
+                return x // 2
+
+    def test_bitwise_on_floats(self):
+        with reject("bitwise operators need integer operands"):
+            @skelcl.jit
+            def f(x: np.float32) -> np.float32:
+                return x & 1
+
+    def test_mixed_strong_minmax(self):
+        with reject("arguments must share one type"):
+            @skelcl.jit
+            def f(x: np.int8, y: np.float64) -> np.float64:
+                return min(x, y)
+
+    def test_nonfinite_constant(self):
+        with reject("non-finite constants are unsupported"):
+            @skelcl.jit
+            def f(x: np.float32) -> np.float32:
+                return x + math.inf
+
+    def test_unknown_function(self):
+        with reject("unsupported function 'round'"):
+            @skelcl.jit
+            def f(x: np.float32) -> np.float32:
+                return round(x)
+
+    def test_comparison_outside_condition(self):
+        with reject("only supported in conditions"):
+            @skelcl.jit
+            def f(x: np.float32) -> np.float32:
+                return x > 0
+
+
+class TestIntentRejections:
+    def test_read_parameter_written(self):
+        with reject("declared READ but the body writes it"):
+            @skelcl.jit
+            def f(v: skelcl.READ[np.float32], out: skelcl.WRITE[np.float32]):
+                v[0] = 1.0
+                return 0.0
+
+    def test_write_parameter_read(self):
+        with reject("declared WRITE but the body reads it"):
+            @skelcl.jit
+            def f(out: skelcl.WRITE[np.float32]) -> np.float32:
+                return out[0]
+
+    def test_inc_parameter_plain_assignment(self):
+        with reject("declared INC; only \\+= increments"):
+            @skelcl.jit
+            def f(acc: skelcl.INC[np.float32]) -> np.float32:
+                acc[0] = 1.0
+                return 0.0
+
+
+class TestDiagnosticRendering:
+    def test_render_pins_file_line_and_caret(self):
+        with pytest.raises(JitError) as excinfo:
+            @skelcl.jit
+            def broken(x: np.float32) -> np.float32:
+                return x ** 2
+
+        err = excinfo.value
+        rendered = err.render()
+        lines = rendered.split("\n")
+        # file:line:col against THIS file and the offending line.
+        assert lines[0].startswith("test_rejections.py:")
+        assert ":" in lines[0] and "error:" in lines[0]
+        assert err.filename == "test_rejections.py"
+        assert err.source_line.strip() == "return x ** 2"
+        assert lines[1] == err.source_line
+        # The caret sits under the expression's column.
+        caret_line = lines[2]
+        assert set(caret_line.strip()) == {"^"}
+        assert caret_line.index("^") == err.column
+        # The reported line number is the offending statement's line in
+        # this file, not a line inside the generated kernel.
+        import inspect
+        sourcefile_lines = inspect.getsource(
+            __import__("sys").modules[__name__]).split("\n")
+        assert "x ** 2" in sourcefile_lines[err.line - 1]
+
+    def test_uninferrable_parameter_names_the_function(self):
+        @skelcl.jit
+        def broken2(x):
+            return x + 1
+
+        with pytest.raises(JitError,
+                           match="cannot infer a type for parameter 'x' "
+                                 "of broken2"):
+            broken2.lower_source()

@@ -1,0 +1,68 @@
+"""Jitted functions through the multi-tenant serving runtime.
+
+A ``@skelcl.jit`` skeleton is a first-class citizen of ``repro.serve``:
+map jobs and recorded graph jobs accept it, and results stay bit-exact
+with the host oracle."""
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+from repro import serve
+
+from . import corpus
+from .corpus import host_map, host_reduce, host_zip, make_data
+from .test_differential import assert_bitexact
+
+
+@pytest.fixture(autouse=True)
+def _teardown():
+    yield
+    skelcl.terminate()
+
+
+def test_jit_map_job(rng):
+    data = make_data("float32", "any", rng, n=256)
+    skeleton = skelcl.Map(corpus.m_locals)
+    with serve.Server(devices=["test"]) as server:
+        client = server.client("jit")
+        job = client.submit_map(skeleton, data)
+        server.drain()
+        result = np.asarray(job.result())
+    assert_bitexact(result, host_map(corpus.m_locals, data))
+
+
+def test_jit_graph_job_mixing_skeletons(rng):
+    left = make_data("float32", "intlike", rng, n=128)
+    right = make_data("float32", "intlike", rng, n=128)
+    mult = skelcl.Zip(corpus.z_mult)
+    total = skelcl.Reduce(corpus.r_add, "0.0")
+
+    with serve.Server(devices=["test"]) as server:
+        client = server.client("jit")
+        job = client.submit(lambda: total(
+            mult(skelcl.Vector(data=left), skelcl.Vector(data=right))))
+        server.drain()
+        result = job.result().to_numpy()
+
+    expected = host_reduce(corpus.r_add, host_zip(corpus.z_mult, left, right))
+    assert_bitexact(result, expected)
+
+
+def test_jit_and_string_tenants_interleave(rng):
+    jit_data = make_data("float32", "any", rng, n=512)
+    str_data = make_data("float32", "any", rng, n=512)
+    jit_map = skelcl.Map(corpus.m_square)
+    str_map = skelcl.Map("float f(float x) { return x * x; }")
+
+    with serve.Server(devices=["test"]) as server:
+        a = server.client("jit-tenant")
+        b = server.client("str-tenant")
+        ja = a.submit_map(jit_map, jit_data)
+        jb = b.submit_map(str_map, str_data)
+        server.drain()
+        ra = np.asarray(ja.result())
+        rb = np.asarray(jb.result())
+
+    assert_bitexact(ra, host_map(corpus.m_square, jit_data))
+    np.testing.assert_array_equal(rb, str_data * str_data)

@@ -1,0 +1,88 @@
+"""Span mapping: diagnostics against jit-generated kernels point back
+at the *Python* source.
+
+The lowering emits a ``/*@py:file:line*/`` marker on every generated
+line; :class:`~repro.kernelc.source.SourceFile` recovers the mapping
+and :meth:`~repro.kernelc.diagnostics.Diagnostic.render` prefers the
+Python origin, appending a note with the generated kernel line.
+"""
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+from repro.kernelc.source import SourceFile
+from repro.ocl.program import BuildError, Program
+from repro.skelcl import Map, Vector, Zip
+
+
+class TestSourceFileOrigins:
+    def test_origin_markers_are_scanned(self):
+        source = (
+            "float f(float x) /*@py:app.py:7*/\n"
+            "{\n"
+            "    return x * 2.0f; /*@py:app.py:8*/\n"
+            "}\n")
+        sf = SourceFile(source, "<kernel>")
+        assert sf.origins == {1: ("app.py", 7), 3: ("app.py", 8)}
+        assert sf.origin(3) == ("app.py", 8)
+        assert sf.origin(2) is None
+
+    def test_intent_markers_are_scanned(self):
+        source = ("/*@intent:blur.v=r*/\n"
+                  "float blur(const float* v) { return get(v, 0); }\n")
+        sf = SourceFile(source, "<kernel>")
+        assert sf.declared_intents == {("blur", "v"): "r"}
+
+
+class TestTypecheckErrorsCarryPythonOrigin:
+    def test_error_on_marked_line_renders_python_location(self):
+        # A synthetic kernel whose broken line carries an origin marker,
+        # as jit-lowered code would.
+        source = (
+            "float broken_span_probe(float x) /*@py:app.py:3*/\n"
+            "{\n"
+            "    return x + undefined_name; /*@py:app.py:4*/\n"
+            "}\n"
+            "__kernel void k(__global float* a) { a[0] = broken_span_probe(a[0]); }\n")
+        with pytest.raises(BuildError) as excinfo:
+            Program(source, "probe").build()
+        text = str(excinfo.value)
+        assert "app.py:4: error:" in text
+        assert "(generated from app.py:4; generated kernel line 3)" in text
+
+
+class TestLintThroughSkeletonsReportsPythonOrigin:
+    def test_unused_parameter_warning_points_at_this_file(self, runtime_1gpu,
+                                                          rng):
+        @skelcl.jit
+        def ignores_second(x, y):
+            return x * 2.0
+
+        left = rng.rand(17).astype(np.float32)
+        right = rng.rand(17).astype(np.float32)
+        skel = Zip(ignores_second)
+        skel(Vector(data=left), Vector(data=right))
+
+        diags = [d for program in skel._programs.values()
+                 for d in program.lint_diagnostics]
+        unused = [d for d in diags if "unused-binding" in d.message
+                  and "'y'" in d.message]
+        assert unused, [d.message for d in diags]
+
+        program = next(iter(skel._programs.values()))
+        rendered = unused[0].render(program._compiled.program.source)
+        def_line = ignores_second.fdef.lineno + ignores_second.line_offset
+        assert rendered.startswith(f"test_spans.py:{def_line}: warning:")
+        assert "parameter 'y' of ignores_second" in rendered
+        assert f"(generated from test_spans.py:{def_line};" in rendered
+
+    def test_clean_jit_map_has_no_lint_findings(self, runtime_1gpu, rng):
+        @skelcl.jit
+        def doubles(x: np.float32) -> np.float32:
+            return x * 2.0
+
+        skel = Map(doubles)
+        skel(Vector(data=rng.rand(9).astype(np.float32)))
+        assert all(not program.lint_diagnostics
+                   for program in skel._programs.values())

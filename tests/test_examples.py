@@ -41,6 +41,8 @@ class TestExamples:
         out = run_example("quickstart.py", capsys=capsys)
         assert "dot product" in out
         assert "numpy agrees = True" in out
+        # The @skelcl.jit spelling of the same skeletons is bit-equal.
+        assert "jit agrees   = True" in out
 
     def test_mandelbrot(self, capsys, tmp_path):
         out = run_example("mandelbrot.py", "96", "64", capsys=capsys)
@@ -50,6 +52,8 @@ class TestExamples:
     def test_sobel(self, capsys):
         out = run_example("sobel_edge_detection.py", "160", capsys=capsys)
         assert "SkelCL:         True" in out
+        # The jitted stencil matches the string kernel bit-for-bit.
+        assert "SkelCL (jit):   True" in out
         assert "static bounds proof: True" in out
 
     def test_matrix_multiplication(self, capsys):
